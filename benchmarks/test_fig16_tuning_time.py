@@ -1,0 +1,98 @@
+"""Figure 16: tuning time as the search space grows, vs Alpa/Aceso.
+
+The paper tunes GPT-3 22B on 32 GPUs: Mist's time grows from ~92s (3D
+parallelism) to ~1083s (all offloading enabled) while Alpa needs ~10^4+
+seconds (simulation-per-configuration) — and Mist at Aceso's search
+space is faster than Aceso (~201s).
+
+This bench measures Mist's actual tuning times over the incremental
+spaces on the scaled workload, measures Aceso's tuner, and *estimates*
+the simulation-based cost the way the paper cites it (≈6s per
+configuration simulation, Proteus [21]), since running Alpa is neither
+possible nor meaningful here.
+
+Expected shape: tuning time grows with the space but stays within the
+same order of magnitude; the simulation-per-config estimate is many
+orders of magnitude larger.
+"""
+
+from repro.baselines import AcesoTuner
+from repro.core import INCREMENTAL_SPACES, MistTuner, log10_configurations
+from repro.evaluation import (
+    WorkloadSpec,
+    calibrated_interference,
+    current_scale,
+    format_series,
+)
+
+#: per-configuration simulation cost cited by the paper (Proteus, §3.2)
+SIMULATION_SECONDS_PER_CONFIG = 6.0
+
+
+def _spec():
+    scale = current_scale().name
+    if scale == "full":
+        return WorkloadSpec("gpt3-22b", "L4", 32, 512, 2048)
+    if scale == "smoke":
+        return WorkloadSpec("gpt3-2.7b", "L4", 4, 64, 2048)
+    return WorkloadSpec("gpt3-6.7b", "L4", 8, 128, 2048)
+
+
+def _measure():
+    spec = _spec()
+    scale = current_scale()
+    cluster = spec.cluster
+    interference = calibrated_interference(not cluster.gpu.has_nvlink)
+    times = {}
+    configs = {}
+    for space in INCREMENTAL_SPACES:
+        tuner = MistTuner(
+            spec.model, cluster, seq_len=spec.seq_len,
+            space=scale.apply(space), interference=interference,
+            max_pareto_points=scale.max_pareto_points,
+            max_gacc_candidates=scale.max_gacc_candidates,
+        )
+        tuned = tuner.tune(spec.global_batch)
+        times[space.name] = tuned.tuning_time_seconds
+        configs[space.name] = tuned.configurations_evaluated
+
+    aceso = AcesoTuner(spec.model, cluster, seq_len=spec.seq_len)
+    aceso_result = aceso.tune(spec.global_batch)
+    times["Aceso"] = aceso_result.tuning_time_seconds
+
+    # simulation-per-configuration estimate for the parallelism-only
+    # space (the Alpa-style approach the paper contrasts against)
+    log10_parallel = log10_configurations(
+        spec.model.num_layers, spec.num_gpus
+    )
+    times["simulation-based (est.)"] = (
+        10 ** min(log10_parallel, 12) * SIMULATION_SECONDS_PER_CONFIG
+    )
+    return times, configs
+
+
+def test_fig16_tuning_time(report, benchmark):
+    times, configs = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    spec = _spec()
+    rows = {
+        name: [f"{seconds:,.1f}",
+               f"{configs.get(name, '-')}"]
+        for name, seconds in times.items()
+    }
+    report(format_series(
+        f"Figure 16 — tuning time ({spec.name})",
+        "tuner", rows, ["seconds", "#configs evaluated"],
+    ))
+
+    mist_names = [space.name for space in INCREMENTAL_SPACES]
+    # larger spaces evaluate more configurations
+    evaluated = [configs[name] for name in mist_names]
+    assert evaluated == sorted(evaluated), evaluated
+    assert evaluated[-1] > 3 * evaluated[0]
+
+    # every Mist tuning run finishes in interactive time on this scale
+    for name in mist_names:
+        assert times[name] < 600, (name, times[name])
+
+    # simulation-per-configuration search is astronomically slower
+    assert times["simulation-based (est.)"] > 1000 * times[mist_names[-1]]

@@ -1,0 +1,57 @@
+"""Mist reproduction: memory-parallelism co-optimization for LLM training.
+
+Reproduction of *Mist: Efficient Distributed Training of Large Language
+Models via Memory-Parallelism Co-Optimization* (Zhu et al., EuroSys
+2025) as a pure-Python library with a discrete-event cluster simulator
+standing in for the GPU testbed.
+
+Quickstart::
+
+    from repro import MistTuner, get_model, make_cluster
+    from repro.execution import ExecutionEngine
+
+    model = get_model("gpt3-2.7b")
+    cluster = make_cluster("L4", 1, 4)
+    tuner = MistTuner(model, cluster, seq_len=2048)
+    plan = tuner.tune(global_batch=64).best_plan
+    result = ExecutionEngine(cluster).run(plan, model, seq_len=2048)
+    print(result.describe())
+
+Subpackages: :mod:`repro.symbolic` (expression engine),
+:mod:`repro.hardware`, :mod:`repro.models`, :mod:`repro.costmodel`,
+:mod:`repro.tracing`, :mod:`repro.execution` (the simulated cluster),
+:mod:`repro.core` (analyzer + hierarchical tuner),
+:mod:`repro.baselines`, :mod:`repro.evaluation`.
+"""
+
+from .core import (
+    MistTuner,
+    SPACE_MIST,
+    SearchSpace,
+    StageConfig,
+    SymbolicPerformanceAnalyzer,
+    TrainingPlan,
+    TuningResult,
+)
+from .hardware import ClusterSpec, GPUSpec, get_gpu, make_cluster
+from .models import ModelConfig, get_model, list_models
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterSpec",
+    "GPUSpec",
+    "MistTuner",
+    "ModelConfig",
+    "SPACE_MIST",
+    "SearchSpace",
+    "StageConfig",
+    "SymbolicPerformanceAnalyzer",
+    "TrainingPlan",
+    "TuningResult",
+    "__version__",
+    "get_gpu",
+    "get_model",
+    "list_models",
+    "make_cluster",
+]

@@ -1,0 +1,36 @@
+"""Baseline distributed-training systems (paper Table 1 and Section 6.1)."""
+
+from .aceso import AcesoTuner, SerialInterferenceModel
+from .common import BaselineResult, Capabilities, GridSearchTuner, pipeline_grids
+from .deepspeed import DeepSpeedTuner
+from .heuristics import UniformHeuristicTuner
+from .megatron import MegatronTuner
+
+#: Table 1 rows for the systems this reproduction implements; Mist's row
+#: is appended by the Table 1 benchmark from the tuner's search space.
+CAPABILITY_TABLE = (
+    MegatronTuner.capabilities,
+    DeepSpeedTuner.capabilities,
+    AcesoTuner.capabilities,
+    UniformHeuristicTuner.capabilities,
+    Capabilities(
+        name="Mist",
+        offload_p="fine", offload_g="fine", offload_o="fine",
+        offload_a="fine",
+        zero23=True,
+        auto_tuning="full",
+    ),
+)
+
+__all__ = [
+    "AcesoTuner",
+    "BaselineResult",
+    "CAPABILITY_TABLE",
+    "Capabilities",
+    "DeepSpeedTuner",
+    "GridSearchTuner",
+    "MegatronTuner",
+    "SerialInterferenceModel",
+    "UniformHeuristicTuner",
+    "pipeline_grids",
+]

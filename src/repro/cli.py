@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``tune``     — auto-tune a model on a cluster, print the plan and the
+  measured throughput; optionally compare against baseline systems.
+* ``models``   — list available model configurations.
+* ``analyze``  — predict time/memory for an explicit configuration.
+
+Examples::
+
+    python -m repro tune --model gpt3-6.7b --gpu L4 --gpus 8 \
+        --global-batch 128 --seq-len 2048 --compare megatron deepspeed
+    python -m repro analyze --model gpt3-2.7b --gpu L4 --gpus 4 \
+        --global-batch 8 --seq-len 4096 --stages 2 --dp 2 --ckpt full
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import MistTuner, SPACE_MIST
+from repro.core.plan import uniform_plan
+from repro.evaluation import calibrated_interference, run_baseline
+from repro.evaluation.workloads import GPUS_PER_NODE, SCALES, WorkloadSpec
+from repro.execution import ExecutionEngine, OOMError, render_timeline
+from repro.models import get_model, list_models
+
+__all__ = ["main"]
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", required=True,
+                        help="model spec, e.g. gpt3-2.7b (see 'models')")
+    parser.add_argument("--gpu", default="L4",
+                        help="GPU type: L4, A100-40GB, A100-80GB, H100-80GB")
+    parser.add_argument("--gpus", type=int, required=True,
+                        help="total GPU count")
+    parser.add_argument("--global-batch", type=int, required=True)
+    parser.add_argument("--seq-len", type=int, default=2048)
+    parser.add_argument("--no-flash", action="store_true",
+                        help="disable FlashAttention")
+
+
+def _workload(args) -> WorkloadSpec:
+    return WorkloadSpec(
+        model_spec=args.model, gpu_name=args.gpu, num_gpus=args.gpus,
+        global_batch=args.global_batch, seq_len=args.seq_len,
+        flash=not args.no_flash,
+    )
+
+
+def _cmd_models(_args) -> int:
+    for spec in list_models():
+        model = get_model(spec)
+        print(f"{spec:14s} {model.total_params / 1e9:6.1f}B params  "
+              f"{model.num_layers} layers x {model.hidden_size} hidden")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    spec = _workload(args)
+    model = spec.model
+    cluster = spec.cluster
+    scale = SCALES[args.scale]
+    print(f"tuning {model} on {cluster.name}, B={spec.global_batch}, "
+          f"seq={spec.seq_len}, scale={args.scale}")
+    tuner = MistTuner(
+        model, cluster, seq_len=spec.seq_len, flash=spec.flash,
+        space=scale.apply(SPACE_MIST),
+        interference=calibrated_interference(not cluster.gpu.has_nvlink),
+        max_pareto_points=scale.max_pareto_points,
+        max_gacc_candidates=scale.max_gacc_candidates,
+    )
+    tuning = tuner.tune(spec.global_batch, verbose=args.verbose)
+    if tuning.best_plan is None:
+        print("no feasible plan found")
+        return 1
+    print(f"\nevaluated {tuning.configurations_evaluated} configurations "
+          f"in {tuning.tuning_time_seconds:.1f}s")
+    print(tuning.best_plan.describe())
+
+    engine = ExecutionEngine(cluster, system="mist")
+    try:
+        result = engine.run(tuning.best_plan, model, seq_len=spec.seq_len,
+                            flash=spec.flash)
+    except OOMError as exc:
+        print(f"tuned plan OOMs at execution: {exc}")
+        return 1
+    print(f"\n{result.describe()}")
+    if args.timeline:
+        print()
+        print(render_timeline(result.pipeline, width=100))
+
+    for system in args.compare or ():
+        outcome = run_baseline(spec, system)
+        if outcome.found:
+            ratio = result.throughput / outcome.throughput
+            print(f"\n{system}: {outcome.throughput:.2f} samples/s "
+                  f"(Mist is {ratio:.2f}x)")
+        else:
+            print(f"\n{system}: no feasible configuration")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    spec = _workload(args)
+    model = spec.model
+    cluster = spec.cluster
+    gacc = args.gacc or max(1, spec.global_batch // (args.dp or 1))
+    ckpt_all = args.ckpt == "full"
+    try:
+        plan = uniform_plan(
+            model, cluster, global_batch=spec.global_batch, gacc=gacc,
+            num_stages=args.stages, dp=args.dp, tp=args.tp,
+            zero=args.zero, ckpt_all=ckpt_all,
+            oo=args.oo, ao=args.ao,
+        )
+    except Exception as exc:
+        print(f"invalid configuration: {exc}")
+        return 1
+    engine = ExecutionEngine(cluster, system="mist")
+    try:
+        result = engine.run(plan, model, seq_len=spec.seq_len,
+                            flash=spec.flash)
+    except OOMError as exc:
+        print(f"OOM: {exc}")
+        return 1
+    print(plan.describe())
+    print(result.describe())
+    if args.timeline:
+        print()
+        print(render_timeline(result.pipeline, width=100))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mist reproduction: distributed-training auto-tuning",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_models = sub.add_parser("models", help="list model configurations")
+    p_models.set_defaults(func=_cmd_models)
+
+    p_tune = sub.add_parser("tune", help="auto-tune a training plan")
+    _add_workload_args(p_tune)
+    p_tune.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    p_tune.add_argument("--compare", nargs="*", metavar="SYSTEM",
+                        help="baselines to compare against "
+                             "(megatron, deepspeed, aceso)")
+    p_tune.add_argument("--timeline", action="store_true",
+                        help="render the executed 1F1B timeline")
+    p_tune.add_argument("--verbose", action="store_true")
+    p_tune.set_defaults(func=_cmd_tune)
+
+    p_an = sub.add_parser("analyze",
+                          help="execute one explicit configuration")
+    _add_workload_args(p_an)
+    p_an.add_argument("--stages", type=int, default=1)
+    p_an.add_argument("--dp", type=int, default=1)
+    p_an.add_argument("--tp", type=int, default=1)
+    p_an.add_argument("--gacc", type=int, default=None)
+    p_an.add_argument("--zero", type=int, default=0, choices=(0, 1, 2, 3))
+    p_an.add_argument("--ckpt", choices=("none", "full"), default="none")
+    p_an.add_argument("--oo", type=float, default=0.0)
+    p_an.add_argument("--ao", type=float, default=0.0)
+    p_an.add_argument("--timeline", action="store_true")
+    p_an.set_defaults(func=_cmd_analyze)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

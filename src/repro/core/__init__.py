@@ -1,0 +1,75 @@
+"""Mist's core: symbolic analyzer, hierarchical tuner, plans, objectives."""
+
+from .analyzer import (
+    FRAMEWORK_OVERHEAD_BYTES,
+    PlanPrediction,
+    StagePrediction,
+    SymbolicPerformanceAnalyzer,
+)
+from .inter_stage import InterStageSolution, solve, solve_exact, solve_milp
+from .intra_stage import IntraStageTuner, ParetoPoint, StageShape
+from .objectives import (
+    pipeline_iteration_time,
+    pipeline_time_average,
+    pipeline_time_uniform,
+    throughput,
+)
+from .plan import (
+    PlanValidationError,
+    StageConfig,
+    TrainingPlan,
+    uniform_plan,
+    zero_flags,
+)
+from .spaces import (
+    INCREMENTAL_SPACES,
+    SPACE_3D,
+    SPACE_3D_CKPT,
+    SPACE_3D_ZERO,
+    SPACE_AO,
+    SPACE_GO,
+    SPACE_MIST,
+    SPACE_MIST_NO_IMBALANCE,
+    SPACE_OO,
+    SPACE_WO,
+    SearchSpace,
+    log10_configurations,
+)
+from .tuner import MistTuner, TuningResult
+
+__all__ = [
+    "FRAMEWORK_OVERHEAD_BYTES",
+    "INCREMENTAL_SPACES",
+    "InterStageSolution",
+    "IntraStageTuner",
+    "MistTuner",
+    "ParetoPoint",
+    "PlanPrediction",
+    "PlanValidationError",
+    "SPACE_3D",
+    "SPACE_3D_CKPT",
+    "SPACE_3D_ZERO",
+    "SPACE_AO",
+    "SPACE_GO",
+    "SPACE_MIST",
+    "SPACE_MIST_NO_IMBALANCE",
+    "SPACE_OO",
+    "SPACE_WO",
+    "SearchSpace",
+    "StageConfig",
+    "StagePrediction",
+    "StageShape",
+    "SymbolicPerformanceAnalyzer",
+    "TrainingPlan",
+    "TuningResult",
+    "log10_configurations",
+    "pipeline_iteration_time",
+    "pipeline_time_average",
+    "pipeline_time_uniform",
+    "throughput",
+    "solve",
+    "solve_exact",
+    "solve_milp",
+    "uniform_plan",
+    "zero_flags",
+]

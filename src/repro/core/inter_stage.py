@@ -1,0 +1,199 @@
+"""Inter-stage tuning: the imbalance-aware MILP (paper Eq. 2/3).
+
+Given, for every stage position ``i`` and candidate layer count ``l``, a
+menu of Pareto points ``(t, d)`` from intra-stage tuning, choose one
+``(l_i, f_i)`` per stage such that layer counts sum to the model depth
+and
+
+    (G-1) * max_i t_i  +  sum_i t_i  +  max_i (d_i - sum_{j<i} t_j)
+
+is minimized. Both max terms linearize as ``>=`` constraints, so the
+problem is a pure binary assignment MILP solved with scipy's HiGHS
+backend — the off-the-shelf-solver route the paper takes.
+
+:func:`solve_exact` enumerates assignments for small instances and is
+used to validate the MILP in tests. :func:`solve` picks automatically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+from scipy.sparse import lil_matrix
+
+from .intra_stage import ParetoPoint
+from .objectives import pipeline_iteration_time
+
+__all__ = ["InterStageSolution", "solve", "solve_milp", "solve_exact"]
+
+Menus = list[dict[int, list[ParetoPoint]]]
+"""menus[i][l] -> Pareto points of stage i with l layers."""
+
+
+@dataclass
+class InterStageSolution:
+    """Chosen (layer count, Pareto point) per stage, plus the objective."""
+
+    objective: float
+    choices: list[ParetoPoint]
+
+    @property
+    def layer_counts(self) -> list[int]:
+        return [point.config.layers for point in self.choices]
+
+
+def _flatten(menus: Menus) -> list[list[tuple[int, ParetoPoint]]]:
+    """menus -> per-stage option lists [(l, point), ...]."""
+    options = []
+    for stage_menu in menus:
+        stage_options = [
+            (l, point)
+            for l, points in sorted(stage_menu.items())
+            for point in points
+        ]
+        options.append(stage_options)
+    return options
+
+
+def solve_exact(menus: Menus, total_layers: int, gacc: int,
+                imbalance_aware: bool = True) -> InterStageSolution | None:
+    """Exhaustive enumeration (exponential; for tests / tiny instances)."""
+    options = _flatten(menus)
+    if any(not opts for opts in options):
+        return None
+    best: InterStageSolution | None = None
+    for combo in itertools.product(*options):
+        if sum(l for l, _ in combo) != total_layers:
+            continue
+        t = np.array([p.t for _, p in combo])
+        d = np.array([p.d for _, p in combo])
+        if not imbalance_aware:
+            d = np.zeros_like(d)
+        objective = pipeline_iteration_time(t, d, gacc)
+        if best is None or objective < best.objective:
+            best = InterStageSolution(
+                objective=objective, choices=[p for _, p in combo]
+            )
+    return best
+
+
+def solve_milp(menus: Menus, total_layers: int, gacc: int,
+               imbalance_aware: bool = True,
+               time_limit: float = 30.0) -> InterStageSolution | None:
+    """Eq. (2) as a binary MILP solved by HiGHS.
+
+    Variables: ``x[i, o]`` (stage ``i`` picks option ``o``), plus the
+    bottleneck time ``T`` and the exposed-delta bound ``Z``.
+    """
+    options = _flatten(menus)
+    if any(not opts for opts in options):
+        return None
+    num_stages = len(options)
+    offsets = np.cumsum([0] + [len(opts) for opts in options])
+    n_x = int(offsets[-1])
+    n_vars = n_x + 2  # + T, Z
+    iT, iZ = n_x, n_x + 1
+
+    t_coef = np.concatenate([
+        np.array([p.t for _, p in opts]) for opts in options
+    ])
+    d_coef = np.concatenate([
+        np.array([p.d for _, p in opts]) for opts in options
+    ])
+    l_coef = np.concatenate([
+        np.array([l for l, _ in opts], dtype=float) for opts in options
+    ])
+    if not imbalance_aware:
+        d_coef = np.zeros_like(d_coef)
+
+    # objective: (G-1) T + sum_i t_i + Z
+    c = np.zeros(n_vars)
+    c[:n_x] = t_coef
+    c[iT] = gacc - 1
+    c[iZ] = 1.0
+
+    constraints = []
+
+    # one option per stage
+    a_pick = lil_matrix((num_stages, n_vars))
+    for i in range(num_stages):
+        a_pick[i, offsets[i]:offsets[i + 1]] = 1.0
+    constraints.append(LinearConstraint(a_pick.tocsr(), 1.0, 1.0))
+
+    # layer counts sum to the model depth
+    a_layers = lil_matrix((1, n_vars))
+    a_layers[0, :n_x] = l_coef
+    constraints.append(
+        LinearConstraint(a_layers.tocsr(), total_layers, total_layers)
+    )
+
+    # T >= t_i for every stage
+    a_bottleneck = lil_matrix((num_stages, n_vars))
+    for i in range(num_stages):
+        a_bottleneck[i, offsets[i]:offsets[i + 1]] = -t_coef[
+            offsets[i]:offsets[i + 1]
+        ]
+        a_bottleneck[i, iT] = 1.0
+    constraints.append(LinearConstraint(a_bottleneck.tocsr(), 0.0, np.inf))
+
+    # Z >= d_i - sum_{j<i} t_j for every stage
+    a_delta = lil_matrix((num_stages, n_vars))
+    for i in range(num_stages):
+        a_delta[i, offsets[i]:offsets[i + 1]] = -d_coef[
+            offsets[i]:offsets[i + 1]
+        ]
+        for j in range(i):
+            a_delta[i, offsets[j]:offsets[j + 1]] = t_coef[
+                offsets[j]:offsets[j + 1]
+            ]
+        a_delta[i, iZ] = 1.0
+    constraints.append(LinearConstraint(a_delta.tocsr(), 0.0, np.inf))
+
+    integrality = np.concatenate([np.ones(n_x), np.zeros(2)])
+    bounds = Bounds(
+        lb=np.zeros(n_vars),
+        ub=np.concatenate([np.ones(n_x), [np.inf, np.inf]]),
+    )
+
+    result = milp(
+        c=c,
+        constraints=constraints,
+        integrality=integrality,
+        bounds=bounds,
+        options={"time_limit": time_limit, "presolve": True},
+    )
+    if not result.success or result.x is None:
+        return None
+
+    choices: list[ParetoPoint] = []
+    for i in range(num_stages):
+        slice_x = result.x[offsets[i]:offsets[i + 1]]
+        picked = int(np.argmax(slice_x))
+        if slice_x[picked] < 0.5:
+            return None  # infeasible relaxation artefact
+        choices.append(options[i][picked][1])
+
+    # Recompute the objective exactly (guards against MILP tolerance).
+    t = np.array([p.t for p in choices])
+    d = np.array([p.d for p in choices])
+    if not imbalance_aware:
+        d = np.zeros_like(d)
+    objective = pipeline_iteration_time(t, d, gacc)
+    return InterStageSolution(objective=objective, choices=choices)
+
+
+def solve(menus: Menus, total_layers: int, gacc: int, *,
+          imbalance_aware: bool = True,
+          exact_threshold: int = 2000) -> InterStageSolution | None:
+    """Dispatch to exact enumeration (tiny instances) or the MILP."""
+    options = _flatten(menus)
+    if any(not opts for opts in options):
+        return None
+    combos = math.prod(len(opts) for opts in options)
+    if combos <= exact_threshold:
+        return solve_exact(menus, total_layers, gacc, imbalance_aware)
+    return solve_milp(menus, total_layers, gacc, imbalance_aware)

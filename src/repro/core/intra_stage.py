@@ -1,0 +1,223 @@
+"""Intra-stage tuning: batched enumeration and Pareto-frontier sampling.
+
+For a stage shape — device count, position (has_pre/has_post), in-flight
+microbatch count and gradient-accumulation steps — the tuner enumerates
+every combination of
+
+* ``(dp, tp, b)`` grids (with ``b = B / (G * dp)`` forced integral),
+* ZeRO level, checkpoint count, and offloading ratios from the
+  :class:`~repro.core.spaces.SearchSpace` grids,
+* candidate per-stage layer counts,
+
+evaluates them **in one batched analyzer call** (Section 5.2's
+"batched value substitutions"), filters by the memory budget (Eq. 4's
+constraint), and extracts the Pareto frontier over
+``(t_stable, d_delta)`` per layer count. Because querying single points
+is nearly free, the enumeration is brute force — "which would not miss
+any optimization possibilities" (Section 5.3).
+
+The frontier — rather than a single winner — is the hand-off to the
+inter-stage MILP: different ``(t, d)`` trade-offs win depending on how
+many microbatches amortize the deltas and where the stage sits in the
+pipeline (the paper's Pareto-frontier sampling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .analyzer import SymbolicPerformanceAnalyzer
+from .plan import StageConfig
+from .spaces import SearchSpace
+
+__all__ = ["ParetoPoint", "StageShape", "IntraStageTuner"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated intra-stage configuration."""
+
+    t: float
+    d: float
+    peak_mem: float
+    config: StageConfig
+
+    def objective(self, alpha: float, gacc: int) -> float:
+        """Dual objective of Eq. (4)."""
+        return alpha * gacc * self.t + (1.0 - alpha) * self.d
+
+
+@dataclass(frozen=True)
+class StageShape:
+    """Everything that identifies a stage for intra-stage tuning."""
+
+    stage_gpus: int
+    gacc: int
+    inflight: int
+    has_pre: bool
+    has_post: bool
+
+
+class IntraStageTuner:
+    """Brute-force batched enumeration over one stage's search space."""
+
+    def __init__(self, analyzer: SymbolicPerformanceAnalyzer,
+                 space: SearchSpace, *, global_batch: int, seq_len: int,
+                 max_pareto_points: int = 8):
+        self.analyzer = analyzer
+        self.space = space
+        self.global_batch = global_batch
+        self.seq_len = seq_len
+        self.max_pareto_points = max_pareto_points
+        #: configurations evaluated so far (tuning-time accounting)
+        self.evaluated = 0
+
+    # -- grids ---------------------------------------------------------------
+
+    def _ckpt_grid(self, layer_counts: list[int]) -> np.ndarray:
+        max_layers = max(layer_counts)
+        if self.space.ckpt_policy == "full":
+            # ckpt must equal the stage's layer count; candidates are the
+            # layer counts themselves (filtered to ckpt == l later).
+            return np.unique(np.asarray(layer_counts, dtype=int))
+        if not self.space.tune_ckpt:
+            return np.unique(np.asarray([0] + list(layer_counts), dtype=int))
+        points = min(self.space.ckpt_grid_points, max_layers + 1)
+        return np.unique(np.round(np.linspace(0, max_layers, points))
+                         .astype(int))
+
+    def _zero_grid(self) -> np.ndarray:
+        return np.asarray(self.space.zero_levels, dtype=int)
+
+    def _parallelism_options(self, shape: StageShape) -> list[tuple[int, int, int]]:
+        """Feasible (dp, tp, b) triples for this stage."""
+        options = []
+        per_wave = self.global_batch // shape.gacc
+        if per_wave * shape.gacc != self.global_batch:
+            return []
+        for dp, tp in self.analyzer.cluster.stage_parallelism_options(
+                shape.stage_gpus):
+            if self.analyzer.traced.config.hidden_size % tp != 0:
+                continue
+            if per_wave % dp != 0:
+                continue
+            b = per_wave // dp
+            if b < 1:
+                continue
+            options.append((dp, tp, b))
+        return options
+
+    # -- tuning -----------------------------------------------------------------
+
+    def tune(self, shape: StageShape,
+             layer_counts: list[int]) -> dict[int, list[ParetoPoint]]:
+        """Pareto frontiers per layer count: ``{l: [ParetoPoint, ...]}``.
+
+        Returns an empty list for layer counts with no feasible (within
+        memory budget) configuration.
+        """
+        self._gacc = shape.gacc
+        menus: dict[int, list[tuple[float, float, float, StageConfig]]] = {
+            l: [] for l in layer_counts
+        }
+        zero_levels = self._zero_grid()
+        ckpt_vals = self._ckpt_grid(layer_counts)
+        l_vals = np.asarray(sorted(layer_counts), dtype=int)
+
+        for dp, tp, b in self._parallelism_options(shape):
+            grid = np.meshgrid(
+                l_vals, ckpt_vals, zero_levels,
+                np.asarray(self.space.wo_grid), np.asarray(self.space.go_grid),
+                np.asarray(self.space.oo_grid), np.asarray(self.space.ao_grid),
+                indexing="ij",
+            )
+            l_g, ckpt_g, zero_g, wo_g, go_g, oo_g, ao_g = [
+                g.reshape(-1) for g in grid
+            ]
+            if self.space.ckpt_policy == "full":
+                valid = ckpt_g == l_g
+            elif not self.space.tune_ckpt:
+                valid = (ckpt_g == 0) | (ckpt_g == l_g)
+            else:
+                valid = ckpt_g <= l_g
+            l_g, ckpt_g, zero_g = l_g[valid], ckpt_g[valid], zero_g[valid]
+            wo_g, go_g, oo_g, ao_g = (wo_g[valid], go_g[valid], oo_g[valid],
+                                      ao_g[valid])
+            n = l_g.size
+            if n == 0:
+                continue
+            self.evaluated += n
+
+            # hardware values are constant for this (dp, tp) choice
+            hw = {k: float(v.reshape(-1)[0])
+                  for k, v in self.analyzer.hardware_env(dp, tp).items()}
+            env = self.analyzer.build_env(
+                b=np.full(n, b), s=np.full(n, self.seq_len),
+                tp=np.full(n, tp), dp=np.full(n, dp),
+                l=l_g, ckpt=ckpt_g,
+                z1=(zero_g >= 1).astype(float),
+                z2=(zero_g >= 2).astype(float),
+                z3=(zero_g >= 3).astype(float),
+                wo=wo_g, go=go_g, oo=oo_g, ao=ao_g,
+                gacc=np.full(n, shape.gacc),
+                inflight=np.full(n, shape.inflight),
+                has_pre=np.full(n, int(shape.has_pre)),
+                has_post=np.full(n, int(shape.has_post)),
+                **hw,
+            )
+            pred = self.analyzer.predict(env)
+
+            fits = pred.peak_mem <= self.analyzer.memory_budget
+            if not fits.any():
+                continue
+            idx_fit = np.nonzero(fits)[0]
+            for i in idx_fit:
+                cfg = StageConfig(
+                    layers=int(l_g[i]), microbatch=b, dp=dp, tp=tp,
+                    zero=int(zero_g[i]), ckpt=int(ckpt_g[i]),
+                    wo=float(wo_g[i]), go=float(go_g[i]),
+                    oo=float(oo_g[i]), ao=float(ao_g[i]),
+                )
+                menus[int(l_g[i])].append(
+                    (float(pred.t_stable[i]), float(pred.delta[i]),
+                     float(pred.peak_mem[i]), cfg)
+                )
+
+        return {
+            l: self._pareto(entries)
+            for l, entries in menus.items()
+        }
+
+    # -- frontier extraction -------------------------------------------------------
+
+    def _pareto(self, entries) -> list[ParetoPoint]:
+        """Non-dominated (t, d) points, downsampled by the alpha-sweep.
+
+        Extraction keeps every non-dominated point; when the frontier
+        exceeds the budget, points are selected by uniformly sampling
+        the dual objective of Eq. (4) — ``alpha*G*t + (1-alpha)*d`` for
+        ``alpha`` in [0, 1] — which guarantees the minimizers of the
+        scalarizations the inter-stage objective is built from survive
+        (this is the paper's Pareto frontier *sampling*).
+        """
+        if not entries:
+            return []
+        entries.sort(key=lambda e: (e[0], e[1]))
+        frontier = []
+        best_d = np.inf
+        for t, d, mem, cfg in entries:
+            if d < best_d - 1e-12:
+                frontier.append(ParetoPoint(t=t, d=d, peak_mem=mem, config=cfg))
+                best_d = d
+        if len(frontier) > self.max_pareto_points:
+            gacc = getattr(self, "_gacc", 1)
+            t_arr = np.array([p.t for p in frontier])
+            d_arr = np.array([p.d for p in frontier])
+            keep: set[int] = {0, len(frontier) - 1}  # min-t and min-d ends
+            for alpha in np.linspace(0.0, 1.0, self.max_pareto_points):
+                scores = alpha * gacc * t_arr + (1.0 - alpha) * d_arr
+                keep.add(int(np.argmin(scores)))
+            frontier = [frontier[i] for i in sorted(keep)]
+        return frontier

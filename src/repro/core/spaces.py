@@ -1,0 +1,160 @@
+"""Search-space definitions and size accounting (paper Figure 5/13/16).
+
+A :class:`SearchSpace` declares which optimizations a tuner may vary.
+The predefined spaces mirror the paper's incremental ablation:
+
+* ``SPACE_3D``           — DP/TP/PP/microbatch with full-or-none
+  recomputation (the Megatron-LM space);
+* ``SPACE_3D_ZERO``      — + ZeRO-1/2/3;
+* ``SPACE_3D_CKPT``      — + per-stage flexible checkpoint counts;
+* ``SPACE_OO`` .. ``SPACE_WO`` — + optimizer / activation / gradient /
+  weight offloading ratios, cumulatively;
+* ``SPACE_MIST``         — everything (+ imbalance-aware pipelining).
+
+:func:`log10_configurations` reproduces the configuration-count growth
+of Figure 5: the unpruned cross-product of all options over all layer
+partitions, computed in log-space (the counts reach ~10^150).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "SearchSpace",
+    "SPACE_3D",
+    "SPACE_3D_ZERO",
+    "SPACE_3D_CKPT",
+    "SPACE_OO",
+    "SPACE_AO",
+    "SPACE_GO",
+    "SPACE_WO",
+    "SPACE_MIST",
+    "INCREMENTAL_SPACES",
+    "log10_configurations",
+]
+
+#: default quantization grid for offloading ratios during tuning
+DEFAULT_OFFLOAD_GRID = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """What the tuner is allowed to vary."""
+
+    name: str
+    #: ZeRO levels available per stage
+    zero_levels: tuple[int, ...] = (0,)
+    #: flexible per-stage checkpoint counts (False: full or none only)
+    tune_ckpt: bool = False
+    #: "auto": 0/full (or flexible per ``tune_ckpt``); "full": always
+    #: recompute every layer (the paper's Fig. 2(b) baseline policy)
+    ckpt_policy: str = "auto"
+    #: number of checkpoint grid points when flexible (incl. endpoints)
+    ckpt_grid_points: int = 9
+    #: offloading grids — empty tuple disables that ratio
+    oo_grid: tuple[float, ...] = (0.0,)
+    ao_grid: tuple[float, ...] = (0.0,)
+    go_grid: tuple[float, ...] = (0.0,)
+    wo_grid: tuple[float, ...] = (0.0,)
+    #: account for inter-microbatch imbalance in the objective (Eq. 1)
+    imbalance_aware: bool = True
+    #: per-stage layer counts explored around the balanced split
+    layer_slack: int = 2
+    extra: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def tunes_offloading(self) -> bool:
+        return any(len(grid) > 1
+                   for grid in (self.oo_grid, self.ao_grid, self.go_grid,
+                                self.wo_grid))
+
+    def with_(self, **changes) -> "SearchSpace":
+        return replace(self, **changes)
+
+
+# Megatron-LM-equivalent space: uniform layer splits, full-or-none
+# recomputation, distributed optimizer (ZeRO-1) available.
+SPACE_3D = SearchSpace(name="3D Parallelism", zero_levels=(0, 1),
+                       layer_slack=0)
+SPACE_3D_ZERO = SPACE_3D.with_(name="+ZeRO-2/3", zero_levels=(0, 1, 2, 3),
+                               layer_slack=2)
+SPACE_3D_CKPT = SPACE_3D_ZERO.with_(name="+Flexible CKPT", tune_ckpt=True)
+SPACE_OO = SPACE_3D_CKPT.with_(name="+OO", oo_grid=DEFAULT_OFFLOAD_GRID)
+SPACE_AO = SPACE_OO.with_(name="+AO", ao_grid=DEFAULT_OFFLOAD_GRID)
+SPACE_GO = SPACE_AO.with_(name="+GO", go_grid=(0.0, 0.5, 1.0))
+SPACE_WO = SPACE_GO.with_(name="+WO", wo_grid=(0.0, 0.5, 1.0))
+SPACE_MIST = SPACE_WO.with_(name="Mist")
+
+#: the cumulative spaces of the Fig. 13 speedup breakdown
+INCREMENTAL_SPACES: tuple[SearchSpace, ...] = (
+    SPACE_3D,
+    SPACE_3D_ZERO,
+    SPACE_3D_CKPT,
+    SPACE_AO.with_(name="+Offloading"),
+    SPACE_MIST.with_(name="+Imbalance-Aware Pipelining"),
+)
+# Imbalance-unaware variants for ablations:
+SPACE_MIST_NO_IMBALANCE = SPACE_MIST.with_(
+    name="Mist w/o Imbalance-Aware PP", imbalance_aware=False
+)
+__all__.append("SPACE_MIST_NO_IMBALANCE")
+
+#: "continuous" ratio resolution assumed when counting configurations
+_CONTINUOUS_POINTS = 100
+
+
+def _log10_comb(n: int, k: int) -> float:
+    if k < 0 or k > n:
+        return -math.inf
+    return (math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)) \
+        / math.log(10)
+
+
+def _log10_add(a: float, b: float) -> float:
+    """log10(10^a + 10^b) without overflow."""
+    if not math.isfinite(a):
+        return b
+    if not math.isfinite(b):
+        return a
+    high, low = max(a, b), min(a, b)
+    return high + math.log10(1.0 + 10.0 ** (low - high))
+
+
+def log10_configurations(num_layers: int, num_gpus: int, *,
+                         zero: bool = False, ckpt: bool = False,
+                         oo: bool = False, go: bool = False,
+                         po: bool = False, ao: bool = False,
+                         max_stages: int | None = None) -> float:
+    """log10 of the unpruned configuration count (Figure 5).
+
+    Counts, for every pipeline depth ``S``: the layer compositions
+    ``C(L-1, S-1)``, and per stage the (dp, tp, b) grids and every
+    enabled memory optimization (ZeRO levels x checkpoint counts x
+    offloading ratios at ~:data:`_CONTINUOUS_POINTS` resolution each).
+    """
+    if num_layers < 1 or num_gpus < 1:
+        raise ValueError("need at least one layer and one GPU")
+    max_stages = min(max_stages or num_gpus, num_layers, num_gpus)
+
+    # per-stage multiplicative factor (log10)
+    parallel_options = max(1, int(math.log2(num_gpus)) + 1)  # dp*tp splits
+    micro_options = 4  # candidate microbatch sizes
+    per_stage = math.log10(parallel_options * micro_options)
+    if zero:
+        per_stage += math.log10(4)
+    if ckpt:
+        per_stage += math.log10(max(2, num_layers // 2))
+    for enabled in (oo, go, po, ao):
+        if enabled:
+            per_stage += math.log10(_CONTINUOUS_POINTS)
+
+    total = -math.inf
+    s = 1
+    while s <= max_stages:
+        if num_gpus % s == 0:
+            log_count = _log10_comb(num_layers - 1, s - 1) + s * per_stage
+            total = _log10_add(total, log_count)
+        s *= 2
+    return total

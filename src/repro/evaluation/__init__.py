@@ -1,0 +1,39 @@
+"""Evaluation harness: workloads, runner, reporting (paper Section 6)."""
+
+from .reporting import format_series, format_table, format_throughput_rows
+from .runner import (
+    BASELINE_TUNERS,
+    Comparison,
+    SystemOutcome,
+    calibrated_interference,
+    compare_systems,
+    run_baseline,
+    run_mist,
+)
+from .workloads import (
+    SCALES,
+    TuningScale,
+    WorkloadSpec,
+    current_scale,
+    gpu_count_for_size,
+    paper_workloads,
+)
+
+__all__ = [
+    "BASELINE_TUNERS",
+    "Comparison",
+    "SCALES",
+    "SystemOutcome",
+    "TuningScale",
+    "WorkloadSpec",
+    "calibrated_interference",
+    "compare_systems",
+    "current_scale",
+    "format_series",
+    "format_table",
+    "format_throughput_rows",
+    "gpu_count_for_size",
+    "paper_workloads",
+    "run_baseline",
+    "run_mist",
+]

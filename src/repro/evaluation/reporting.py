@@ -1,0 +1,74 @@
+"""Plain-text tables and series for the benchmark harness output.
+
+Benchmarks print the same rows/series the paper's figures show:
+per-model normalized throughput (Figures 11/12), incremental-space
+speedups (Figure 13), sweeps (Figures 14/15), and tuning-time bars
+(Figure 16).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_throughput_rows", "format_series"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Minimal fixed-width table renderer (no external deps)."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "+".join("-" * (w + 2) for w in widths)
+    line = f"+{line}+"
+
+    def fmt(cells):
+        inner = " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+        return f"| {inner} |"
+
+    out = [line, fmt(headers), line]
+    out.extend(fmt(row) for row in rows)
+    out.append(line)
+    return "\n".join(out)
+
+
+def format_throughput_rows(title: str,
+                           results: Mapping[str, Mapping[str, float]],
+                           reference: str) -> str:
+    """Figure 11/12-style rows: absolute + normalized throughput.
+
+    ``results[workload][system] = samples/sec``.
+    """
+    systems = sorted({s for row in results.values() for s in row})
+    systems.sort(key=lambda s: (s != reference, s))
+    headers = ["Workload"] + [
+        f"{s} (samp/s | x)" for s in systems
+    ]
+    rows = []
+    for workload, row in results.items():
+        ref = row.get(reference, 0.0)
+        cells = [workload]
+        for system in systems:
+            value = row.get(system, 0.0)
+            if value <= 0:
+                cells.append("OOM/none")
+            elif ref > 0:
+                cells.append(f"{value:7.2f} | {value / ref:4.2f}x")
+            else:
+                cells.append(f"{value:7.2f} |   - ")
+        rows.append(cells)
+    return f"{title}\n" + format_table(headers, rows)
+
+
+def format_series(title: str, x_label: str, series: Mapping[str, Sequence],
+                  x_values: Sequence) -> str:
+    """Sweep output (Figures 14/15/16): one column per x value."""
+    headers = [x_label] + [str(x) for x in x_values]
+    rows = []
+    for name, values in series.items():
+        rows.append([name] + [
+            f"{v:.3g}" if isinstance(v, (int, float)) else str(v)
+            for v in values
+        ])
+    return f"{title}\n" + format_table(headers, rows)

@@ -1,0 +1,185 @@
+"""Evaluation runner: tune -> execute -> compare, per workload.
+
+Every system is measured the same way: its tuner picks a plan, the
+execution engine runs one iteration under that system's overlap
+capability, and throughput (samples/second) is reported — mirroring the
+paper's methodology where all numbers are measured on the same cluster.
+
+Interference models are calibrated once per fabric type (PCIe vs
+NVLink) against the engine's contention ground truth and cached for the
+process lifetime.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.baselines import (
+    AcesoTuner,
+    DeepSpeedTuner,
+    MegatronTuner,
+    UniformHeuristicTuner,
+)
+from repro.core import MistTuner, SPACE_MIST, SearchSpace, TrainingPlan
+from repro.costmodel import InterferenceModel, fit_interference_model
+from repro.execution import (
+    ContentionSpec,
+    ExecutionEngine,
+    IterationResult,
+    OOMError,
+    make_oracle,
+)
+
+from .workloads import SCALES, TuningScale, WorkloadSpec, current_scale
+
+__all__ = [
+    "SystemOutcome",
+    "Comparison",
+    "calibrated_interference",
+    "run_mist",
+    "run_baseline",
+    "compare_systems",
+]
+
+BASELINE_TUNERS = {
+    "megatron": MegatronTuner,
+    "deepspeed": DeepSpeedTuner,
+    "aceso": AcesoTuner,
+    "uniform-heuristic": UniformHeuristicTuner,
+}
+
+
+@lru_cache(maxsize=4)
+def calibrated_interference(pcie_only: bool) -> InterferenceModel:
+    """Fit Algorithm 1's factors to the engine's contention ground truth."""
+    spec = ContentionSpec.default(pcie_only=pcie_only)
+    result = fit_interference_model(make_oracle(spec), pcie_only=pcie_only,
+                                    n_samples=192)
+    return result.model
+
+
+@dataclass
+class SystemOutcome:
+    """One system's tuned-and-measured result on one workload."""
+
+    system: str
+    plan: TrainingPlan | None
+    result: IterationResult | None
+    tuning_time_seconds: float
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        return self.result.throughput if self.result else 0.0
+
+    @property
+    def found(self) -> bool:
+        return self.result is not None
+
+
+@dataclass
+class Comparison:
+    """All systems on one workload, with speedups vs a reference."""
+
+    workload: WorkloadSpec
+    outcomes: dict[str, SystemOutcome]
+
+    def speedup(self, system: str, reference: str = "megatron") -> float:
+        ref = self.outcomes[reference].throughput
+        if ref <= 0:
+            return float("inf") if self.outcomes[system].throughput > 0 else 0.0
+        return self.outcomes[system].throughput / ref
+
+
+def run_mist(spec: WorkloadSpec, *, space: SearchSpace = SPACE_MIST,
+             scale: TuningScale | None = None,
+             imbalance_aware: bool | None = None) -> SystemOutcome:
+    """Tune with Mist and execute the winning plan on the Mist runtime."""
+    scale = scale or current_scale()
+    tuned_space = scale.apply(space)
+    if imbalance_aware is not None:
+        tuned_space = tuned_space.with_(imbalance_aware=imbalance_aware)
+    cluster = spec.cluster
+    interference = calibrated_interference(not cluster.gpu.has_nvlink)
+    tuner = MistTuner(
+        spec.model, cluster, seq_len=spec.seq_len, flash=spec.flash,
+        space=tuned_space, interference=interference,
+        max_pareto_points=scale.max_pareto_points,
+        max_gacc_candidates=scale.max_gacc_candidates,
+    )
+    tuning = tuner.tune(spec.global_batch)
+    # Execute the tuner's top predicted plans and keep the best measured
+    # one — the artifact's final benchmark-one-case step, which absorbs
+    # the winner's-curse bias of selecting the argmin of ~2%-noisy
+    # predictions.
+    result = None
+    best_plan = None
+    engine = ExecutionEngine(cluster, system="mist")
+    for plan in tuning.top_plans or (
+            [tuning.best_plan] if tuning.best_plan else []):
+        try:
+            candidate = engine.run(plan, spec.model, seq_len=spec.seq_len,
+                                   flash=spec.flash)
+        except OOMError:
+            continue
+        if result is None or candidate.throughput > result.throughput:
+            result = candidate
+            best_plan = plan
+    return SystemOutcome(
+        system=f"mist[{tuned_space.name}]",
+        plan=best_plan if best_plan is not None else tuning.best_plan,
+        result=result,
+        tuning_time_seconds=tuning.tuning_time_seconds,
+        extra={
+            "predicted_iteration_time": tuning.predicted_iteration_time,
+            "configurations_evaluated": tuning.configurations_evaluated,
+            "space": tuned_space.name,
+        },
+    )
+
+
+def run_baseline(spec: WorkloadSpec, system: str) -> SystemOutcome:
+    """Run one baseline tuner end to end."""
+    if system not in BASELINE_TUNERS:
+        raise KeyError(
+            f"unknown baseline {system!r}; options: {sorted(BASELINE_TUNERS)}"
+        )
+    tuner_cls = BASELINE_TUNERS[system]
+    kwargs = {}
+    if system == "uniform-heuristic":
+        kwargs["interference"] = calibrated_interference(
+            not spec.cluster.gpu.has_nvlink
+        )
+        from repro.core import SPACE_MIST as _mist_space
+
+        kwargs["space"] = current_scale().apply(_mist_space)
+    tuner = tuner_cls(spec.model, spec.cluster, seq_len=spec.seq_len,
+                      flash=spec.flash, **kwargs)
+    start = time.perf_counter()
+    result = tuner.tune(spec.global_batch)
+    return SystemOutcome(
+        system=system,
+        plan=result.best_plan,
+        result=result.best_result,
+        tuning_time_seconds=time.perf_counter() - start,
+        extra={
+            "candidates_tried": result.candidates_tried,
+            "candidates_oom": result.candidates_oom,
+        },
+    )
+
+
+def compare_systems(spec: WorkloadSpec,
+                    systems: tuple[str, ...] = ("megatron", "deepspeed",
+                                                "mist"),
+                    scale: TuningScale | None = None) -> Comparison:
+    """Measure every requested system on one workload."""
+    outcomes: dict[str, SystemOutcome] = {}
+    for system in systems:
+        if system == "mist":
+            outcomes[system] = run_mist(spec, scale=scale)
+        else:
+            outcomes[system] = run_baseline(spec, system)
+    return Comparison(workload=spec, outcomes=outcomes)

@@ -1,0 +1,150 @@
+"""Workload definitions (paper Tables 3/4) and tuning-scale presets.
+
+The paper scales GPUs and global batch with model size: 1.3B on 2 GPUs
+with batch 32 up to 22B on 32 GPUs with batch 512; sequence length 2048
+on L4 machines and 4096 on A100 machines.
+
+Because full-scale sweeps are expensive, benchmarks accept a
+:class:`TuningScale` preset ("smoke" / "quick" / "full"), selected via
+the ``REPRO_BENCH_SCALE`` environment variable; presets only change
+search-grid resolution, never the model or the objective.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.core.spaces import SearchSpace
+from repro.hardware import ClusterSpec, make_cluster
+from repro.models.config import ModelConfig
+from repro.models.registry import get_model
+
+__all__ = [
+    "WorkloadSpec",
+    "TuningScale",
+    "SCALES",
+    "current_scale",
+    "paper_workloads",
+    "gpu_count_for_size",
+]
+
+#: model size tag -> number of GPUs (Table 4 scaling rule)
+_SIZE_TO_GPUS = {"1.3b": 2, "2.7b": 4, "6.7b": 8, "7b": 8, "13b": 16,
+                 "22b": 32}
+#: model size tag -> global batch size
+_SIZE_TO_BATCH = {"1.3b": 32, "2.7b": 64, "6.7b": 128, "7b": 128,
+                  "13b": 256, "22b": 512}
+
+GPUS_PER_NODE = 8
+
+
+def gpu_count_for_size(size: str) -> int:
+    return _SIZE_TO_GPUS[size.lower()]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One evaluation point: model + cluster + batch + sequence length."""
+
+    model_spec: str
+    gpu_name: str
+    num_gpus: int
+    global_batch: int
+    seq_len: int
+    flash: bool = True
+
+    @property
+    def model(self) -> ModelConfig:
+        return get_model(self.model_spec)
+
+    @property
+    def cluster(self) -> ClusterSpec:
+        nodes = max(1, self.num_gpus // GPUS_PER_NODE)
+        per_node = min(self.num_gpus, GPUS_PER_NODE)
+        return make_cluster(self.gpu_name, nodes, per_node)
+
+    @property
+    def name(self) -> str:
+        return (f"{self.model_spec}-{self.gpu_name}x{self.num_gpus}"
+                f"-B{self.global_batch}-s{self.seq_len}"
+                f"{'-flash' if self.flash else ''}")
+
+
+def paper_workloads(gpu_name: str, *, family: str = "gpt3",
+                    sizes: tuple[str, ...] = ("1.3b", "2.7b", "6.7b",
+                                              "13b", "22b"),
+                    flash: bool = True) -> list[WorkloadSpec]:
+    """The Table 4 grid for one GPU type and model family."""
+    seq_len = 2048 if gpu_name == "L4" else 4096
+    return [
+        WorkloadSpec(
+            model_spec=f"{family}-{size}",
+            gpu_name=gpu_name,
+            num_gpus=_SIZE_TO_GPUS[size],
+            global_batch=_SIZE_TO_BATCH[size],
+            seq_len=seq_len,
+            flash=flash,
+        )
+        for size in sizes
+    ]
+
+
+@dataclass(frozen=True)
+class TuningScale:
+    """Search-grid resolution preset."""
+
+    name: str
+    offload_grid: tuple[float, ...]
+    binary_grid: tuple[float, ...]
+    ckpt_grid_points: int
+    max_pareto_points: int
+    layer_slack: int
+    #: cap on gradient-accumulation candidates per pipeline depth
+    max_gacc_candidates: int
+
+    def apply(self, space: SearchSpace) -> SearchSpace:
+        """Coarsen ``space``'s grids to this preset (never widen)."""
+        changes = {
+            "ckpt_grid_points": min(space.ckpt_grid_points,
+                                    self.ckpt_grid_points),
+            "layer_slack": min(space.layer_slack, self.layer_slack),
+        }
+        for grid_name, preset in (
+            ("oo_grid", self.offload_grid), ("ao_grid", self.offload_grid),
+            ("go_grid", self.binary_grid), ("wo_grid", self.binary_grid),
+        ):
+            grid = getattr(space, grid_name)
+            if len(grid) > 1:
+                changes[grid_name] = preset
+        return space.with_(**changes)
+
+
+SCALES: dict[str, TuningScale] = {
+    "smoke": TuningScale(
+        name="smoke", offload_grid=(0.0, 0.5), binary_grid=(0.0,),
+        ckpt_grid_points=3, max_pareto_points=3, layer_slack=1,
+        max_gacc_candidates=2,
+    ),
+    "quick": TuningScale(
+        name="quick", offload_grid=(0.0, 0.5, 1.0), binary_grid=(0.0, 1.0),
+        ckpt_grid_points=5, max_pareto_points=5, layer_slack=1,
+        max_gacc_candidates=4,
+    ),
+    "full": TuningScale(
+        name="full", offload_grid=(0.0, 0.25, 0.5, 0.75, 1.0),
+        binary_grid=(0.0, 0.5, 1.0),
+        ckpt_grid_points=9, max_pareto_points=8, layer_slack=2,
+        max_gacc_candidates=8,
+    ),
+}
+
+
+def current_scale() -> TuningScale:
+    """Preset selected by ``REPRO_BENCH_SCALE`` (default: quick)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    if name not in SCALES:
+        raise KeyError(
+            f"REPRO_BENCH_SCALE={name!r}; options: {sorted(SCALES)}"
+        )
+    return SCALES[name]

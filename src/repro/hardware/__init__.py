@@ -1,0 +1,14 @@
+"""Hardware model: GPU specs and cluster topology (paper Table 3)."""
+
+from .gpu import GPU_REGISTRY, GiB, GPUSpec, get_gpu
+from .topology import ClusterSpec, CommGroup, make_cluster
+
+__all__ = [
+    "GPU_REGISTRY",
+    "GPUSpec",
+    "GiB",
+    "ClusterSpec",
+    "CommGroup",
+    "get_gpu",
+    "make_cluster",
+]

@@ -1,0 +1,184 @@
+"""Cluster topology: nodes, device meshes, and communication groups.
+
+The paper's tuning problem is posed over a device mesh ``(N, M)`` —
+``N`` nodes with ``M`` GPUs each. Pipeline stages receive contiguous
+GPU ranges; within a stage the GPUs form a ``DP x TP`` grid with TP
+groups packed into nodes whenever they fit (the standard Megatron-LM
+placement, which both the paper and all baselines assume).
+
+:class:`CommGroup` captures what the communication cost model needs to
+price a collective: group size, how many nodes it spans, and the
+per-rank bottleneck bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .gpu import GPUSpec, get_gpu
+
+__all__ = ["ClusterSpec", "CommGroup", "make_cluster"]
+
+
+@dataclass(frozen=True)
+class CommGroup:
+    """A set of ranks participating in one collective."""
+
+    size: int
+    #: number of distinct nodes the group spans
+    nodes_spanned: int
+    #: effective per-rank bus bandwidth (bytes/s) for ring collectives
+    bus_bandwidth: float
+    #: per-hop latency (seconds)
+    latency: float
+
+    @property
+    def intra_node(self) -> bool:
+        return self.nodes_spanned <= 1
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of ``num_nodes`` nodes x ``gpus_per_node`` GPUs."""
+
+    gpu: GPUSpec
+    num_nodes: int
+    gpus_per_node: int
+    #: per-node network bandwidth (bytes/s); Table 3: 100 Gbps (L4 nodes),
+    #: 400 Gbps (A100 nodes)
+    inter_node_bandwidth: float
+    #: one-way network latency, seconds
+    inter_node_latency: float = 12.0e-6
+    #: intra-node hop latency, seconds
+    intra_node_latency: float = 3.0e-6
+
+    def __post_init__(self):
+        if self.num_nodes < 1 or self.gpus_per_node < 1:
+            raise ValueError("cluster must have at least one node and one GPU")
+
+    @property
+    def total_gpus(self) -> int:
+        return self.num_nodes * self.gpus_per_node
+
+    @property
+    def name(self) -> str:
+        return f"{self.num_nodes}x{self.gpus_per_node}x{self.gpu.name}"
+
+    # -- group construction ----------------------------------------------
+
+    def group(self, size: int, *, colocated_fraction: float | None = None) -> CommGroup:
+        """Build a :class:`CommGroup` for ``size`` ranks placed contiguously.
+
+        ``colocated_fraction`` overrides the inferred intra-node share —
+        used by tensor-parallel groups that are deliberately packed into
+        a node.
+        """
+        if size < 1:
+            raise ValueError("group size must be >= 1")
+        if size > self.total_gpus:
+            raise ValueError(
+                f"group of {size} exceeds cluster of {self.total_gpus} GPUs"
+            )
+        if size <= self.gpus_per_node and (colocated_fraction is None or colocated_fraction >= 1.0):
+            nodes = 1
+        else:
+            nodes = -(-size // self.gpus_per_node)  # ceil
+        if nodes == 1:
+            bw = self.gpu.gpu_gpu_bandwidth
+            lat = self.intra_node_latency
+        else:
+            ranks_per_node = size / nodes
+            # Ring crossing nodes: each inter-node edge carries the ring
+            # traffic of all ranks on the node through one NIC.
+            inter_bw_per_rank = self.inter_node_bandwidth / ranks_per_node
+            bw = min(self.gpu.gpu_gpu_bandwidth, inter_bw_per_rank)
+            lat = self.inter_node_latency
+        return CommGroup(size=size, nodes_spanned=nodes, bus_bandwidth=bw, latency=lat)
+
+    def tp_group(self, tp: int) -> CommGroup:
+        """Tensor-parallel group (packed within a node when possible)."""
+        return self.group(tp)
+
+    def dp_group(self, dp: int, tp: int) -> CommGroup:
+        """Data-parallel group of ``dp`` ranks, strided by ``tp``.
+
+        When ``tp * dp`` fits in one node, the DP group is intra-node.
+        Otherwise DP ranks with the same TP index live on different
+        nodes, so DP collectives cross the network.
+        """
+        if dp == 1:
+            return CommGroup(1, 1, self.gpu.gpu_gpu_bandwidth, self.intra_node_latency)
+        if tp * dp <= self.gpus_per_node:
+            return self.group(dp)
+        # DP ranks are spread across ceil(dp*tp/M) nodes; each node hosts
+        # M/tp of them and they all share the NIC.
+        ranks_per_node = max(1, self.gpus_per_node // max(tp, 1))
+        ranks_per_node = min(ranks_per_node, dp)
+        nodes = -(-dp // ranks_per_node)
+        inter_bw_per_rank = self.inter_node_bandwidth / ranks_per_node
+        bw = min(self.gpu.gpu_gpu_bandwidth, inter_bw_per_rank)
+        return CommGroup(size=dp, nodes_spanned=nodes, bus_bandwidth=bw,
+                         latency=self.inter_node_latency)
+
+    def p2p_bandwidth(self, stage_gpus: int) -> float:
+        """Pipeline p2p bandwidth between adjacent stages.
+
+        If consecutive stages live on the same node the transfer uses the
+        intra-node fabric; once a stage occupies one or more full nodes,
+        activations cross the network.
+        """
+        if stage_gpus < self.gpus_per_node or self.num_nodes == 1:
+            return self.gpu.gpu_gpu_bandwidth
+        return self.inter_node_bandwidth
+
+    def p2p_latency(self, stage_gpus: int) -> float:
+        if stage_gpus < self.gpus_per_node or self.num_nodes == 1:
+            return self.intra_node_latency
+        return self.inter_node_latency
+
+    # -- mesh enumeration ---------------------------------------------------
+
+    def stage_parallelism_options(self, stage_gpus: int) -> list[tuple[int, int]]:
+        """All ``(dp, tp)`` grids for a stage owning ``stage_gpus`` GPUs.
+
+        TP is restricted to powers of two that fit within a node — TP
+        across PCIe/network is never competitive and the paper's
+        baselines make the same restriction.
+        """
+        options = []
+        tp = 1
+        while tp <= stage_gpus and tp <= self.gpus_per_node:
+            if stage_gpus % tp == 0:
+                options.append((stage_gpus // tp, tp))
+            tp *= 2
+        return options
+
+    def pipeline_stage_counts(self, max_stages: int | None = None) -> list[int]:
+        """Candidate pipeline sizes: powers of two dividing the cluster."""
+        limit = self.total_gpus if max_stages is None else min(max_stages, self.total_gpus)
+        sizes = []
+        s = 1
+        while s <= limit:
+            if self.total_gpus % s == 0:
+                sizes.append(s)
+            s *= 2
+        return sizes
+
+
+def make_cluster(gpu_name: str, num_nodes: int, gpus_per_node: int) -> ClusterSpec:
+    """Convenience constructor with Table 3 network defaults per GPU type."""
+    gpu = get_gpu(gpu_name)
+    if gpu.name == "L4":
+        inter_bw = 100e9 / 8  # 100 Gbps
+    elif gpu.name.startswith("A100"):
+        inter_bw = 400e9 / 8  # 400 Gbps
+    elif gpu.name.startswith("H100"):
+        inter_bw = 3200e9 / 8
+    else:
+        inter_bw = 100e9 / 8
+    return ClusterSpec(
+        gpu=gpu,
+        num_nodes=num_nodes,
+        gpus_per_node=gpus_per_node,
+        inter_node_bandwidth=inter_bw,
+    )

@@ -1,0 +1,35 @@
+"""Model zoo: configurations, symbolic layer graphs, and tracing."""
+
+from .config import ModelConfig
+from .graph import ModelGraph, trace_model
+from .layers import (
+    build_post_layer,
+    build_pre_layer,
+    build_transformer_layer,
+    embedding_param_count,
+    head_param_count,
+    layer_param_count,
+)
+from .ops import B, S, TP, LayerGraph, Op, OpKind
+from .registry import MODEL_SIZES, get_model, list_models
+
+__all__ = [
+    "B",
+    "S",
+    "TP",
+    "LayerGraph",
+    "MODEL_SIZES",
+    "ModelConfig",
+    "ModelGraph",
+    "Op",
+    "OpKind",
+    "build_post_layer",
+    "build_pre_layer",
+    "build_transformer_layer",
+    "embedding_param_count",
+    "get_model",
+    "head_param_count",
+    "layer_param_count",
+    "list_models",
+    "trace_model",
+]

@@ -1,0 +1,252 @@
+"""Batched evaluation of symbolic expressions.
+
+The paper's key performance trick (Section 5.2) is that after a single
+symbolic "simulation" pass, evaluating a candidate configuration reduces
+to substituting values into closed-form expressions — and thousands of
+candidates can be evaluated at once by substituting *numpy arrays* for
+the optimization symbols.
+
+Two evaluation paths are provided:
+
+* :func:`evaluate` — a direct recursive interpreter, convenient for
+  one-off queries and tests.
+* :func:`compile_expr` — code generation: the expression DAG is
+  flattened into a sequence of numpy statements (with common
+  sub-expressions computed once) and compiled to a Python function.
+  This is what the tuners use for batched evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping, Sequence, Union
+
+import numpy as np
+
+from .expr import (
+    Add,
+    Ceil,
+    Cmp,
+    Const,
+    Div,
+    Expr,
+    Floor,
+    FloorDiv,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Piecewise,
+    Pow,
+    Sym,
+    free_symbols,
+)
+
+ArrayLike = Union[int, float, np.ndarray]
+
+__all__ = ["evaluate", "compile_expr", "CompiledExpr", "EvaluationError"]
+
+
+class EvaluationError(RuntimeError):
+    """Raised when an expression references a symbol missing from the env."""
+
+
+_CMP_FUNCS = {
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "==": np.equal,
+    "!=": np.not_equal,
+}
+
+
+def evaluate(expr: Expr, env: Mapping[str, ArrayLike]) -> ArrayLike:
+    """Evaluate ``expr`` with symbol values from ``env``.
+
+    Values may be scalars or numpy arrays; arrays broadcast together,
+    enabling batched evaluation of many configurations in one call.
+    """
+    cache: dict[int, ArrayLike] = {}
+
+    def rec(node: Expr) -> ArrayLike:
+        node_id = id(node)
+        if node_id in cache:
+            return cache[node_id]
+        if isinstance(node, Const):
+            result: ArrayLike = node.value
+        elif isinstance(node, Sym):
+            try:
+                result = env[node.name]
+            except KeyError:
+                raise EvaluationError(
+                    f"symbol {node.name!r} not provided; expression needs "
+                    f"{sorted(free_symbols(expr))}"
+                ) from None
+        elif isinstance(node, Add):
+            result = rec(node.children[0])
+            for child in node.children[1:]:
+                result = result + rec(child)
+        elif isinstance(node, Mul):
+            result = rec(node.children[0])
+            for child in node.children[1:]:
+                result = result * rec(child)
+        elif isinstance(node, Div):
+            result = np.true_divide(rec(node.left), rec(node.right))
+        elif isinstance(node, FloorDiv):
+            result = np.floor_divide(rec(node.left), rec(node.right))
+        elif isinstance(node, Mod):
+            result = np.mod(rec(node.left), rec(node.right))
+        elif isinstance(node, Pow):
+            result = np.power(rec(node.left), rec(node.right))
+        elif isinstance(node, Ceil):
+            result = np.ceil(rec(node.operand))
+        elif isinstance(node, Floor):
+            result = np.floor(rec(node.operand))
+        elif isinstance(node, Max):
+            result = rec(node.children[0])
+            for child in node.children[1:]:
+                result = np.maximum(result, rec(child))
+        elif isinstance(node, Min):
+            result = rec(node.children[0])
+            for child in node.children[1:]:
+                result = np.minimum(result, rec(child))
+        elif isinstance(node, Cmp):
+            result = _CMP_FUNCS[node.op](rec(node.left), rec(node.right))
+        elif isinstance(node, Piecewise):
+            result = np.where(rec(node.cond), rec(node.then), rec(node.otherwise))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown node type {type(node).__name__}")
+        cache[node_id] = result
+        return result
+
+    return rec(expr)
+
+
+class CompiledExpr:
+    """A compiled, vectorized form of one or more expressions.
+
+    Calling the object with keyword arguments (scalars or numpy arrays)
+    returns the evaluated value, or a tuple of values if multiple
+    expressions were compiled together.
+    """
+
+    def __init__(self, func: Callable, arg_names: tuple[str, ...], n_outputs: int,
+                 source: str):
+        self._func = func
+        self.arg_names = arg_names
+        self.n_outputs = n_outputs
+        self.source = source
+
+    def __call__(self, **env: ArrayLike):
+        missing = [name for name in self.arg_names if name not in env]
+        if missing:
+            raise EvaluationError(f"missing symbol values: {missing}")
+        args = [env[name] for name in self.arg_names]
+        return self._func(*args)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompiledExpr(args={list(self.arg_names)}, "
+            f"outputs={self.n_outputs})"
+        )
+
+
+def _emit(node: Expr, lines: list[str], names: dict[int, str],
+          sym_names: dict[str, str]) -> str:
+    """Emit numpy statements for ``node``; return its local variable name."""
+    node_id = id(node)
+    if node_id in names:
+        return names[node_id]
+    if isinstance(node, Const):
+        value = node.value
+        if value == math.inf:
+            code = "_np.inf"
+        elif value == -math.inf:
+            code = "(-_np.inf)"
+        else:
+            code = repr(float(value))
+        names[node_id] = code
+        return code
+    if isinstance(node, Sym):
+        names[node_id] = sym_names[node.name]
+        return sym_names[node.name]
+
+    children = [_emit(c, lines, names, sym_names) for c in node.children]
+    var = f"_v{len(lines)}"
+    if isinstance(node, Add):
+        rhs = " + ".join(children)
+    elif isinstance(node, Mul):
+        rhs = " * ".join(children)
+    elif isinstance(node, Div):
+        rhs = f"{children[0]} / {children[1]}"
+    elif isinstance(node, FloorDiv):
+        rhs = f"_np.floor_divide({children[0]}, {children[1]})"
+    elif isinstance(node, Mod):
+        rhs = f"_np.mod({children[0]}, {children[1]})"
+    elif isinstance(node, Pow):
+        rhs = f"_np.power({children[0]}, {children[1]})"
+    elif isinstance(node, Ceil):
+        rhs = f"_np.ceil({children[0]})"
+    elif isinstance(node, Floor):
+        rhs = f"_np.floor({children[0]})"
+    elif isinstance(node, Max):
+        rhs = children[0]
+        for child in children[1:]:
+            rhs = f"_np.maximum({rhs}, {child})"
+    elif isinstance(node, Min):
+        rhs = children[0]
+        for child in children[1:]:
+            rhs = f"_np.minimum({rhs}, {child})"
+    elif isinstance(node, Cmp):
+        func = {
+            "<": "_np.less", "<=": "_np.less_equal", ">": "_np.greater",
+            ">=": "_np.greater_equal", "==": "_np.equal", "!=": "_np.not_equal",
+        }[node.op]
+        rhs = f"{func}({children[0]}, {children[1]})"
+    elif isinstance(node, Piecewise):
+        rhs = f"_np.where({children[0]}, {children[1]}, {children[2]})"
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown node type {type(node).__name__}")
+    lines.append(f"    {var} = {rhs}")
+    names[node_id] = var
+    return var
+
+
+def compile_expr(exprs: Union[Expr, Sequence[Expr]],
+                 arg_names: Sequence[str] | None = None) -> CompiledExpr:
+    """Compile one or more expressions into a fast vectorized function.
+
+    ``arg_names`` fixes the argument order; by default the union of free
+    symbols across all expressions, sorted alphabetically. Sharing a
+    single :class:`CompiledExpr` for related expressions (e.g. runtime
+    and memory of the same stage) reuses common sub-expressions.
+    """
+    single = isinstance(exprs, Expr)
+    expr_list: list[Expr] = [exprs] if single else list(exprs)
+    if not expr_list:
+        raise ValueError("no expressions to compile")
+
+    if arg_names is None:
+        all_syms: set[str] = set()
+        for expr in expr_list:
+            all_syms |= free_symbols(expr)
+        arg_names = tuple(sorted(all_syms))
+    else:
+        arg_names = tuple(arg_names)
+
+    sym_names = {name: f"_a{i}" for i, name in enumerate(arg_names)}
+    lines: list[str] = []
+    names: dict[int, str] = {}
+    out_vars = [_emit(expr, lines, names, sym_names) for expr in expr_list]
+
+    params = ", ".join(sym_names[name] for name in arg_names)
+    ret = out_vars[0] if single else "(" + ", ".join(out_vars) + ("," if len(out_vars) == 1 else "") + ")"
+    source = f"def _compiled({params}):\n"
+    source += "\n".join(lines) + ("\n" if lines else "")
+    source += f"    return {ret}\n"
+
+    namespace: dict = {"_np": np}
+    exec(compile(source, "<repro.symbolic.compiled>", "exec"), namespace)
+    func = namespace["_compiled"]
+    return CompiledExpr(func, arg_names, len(expr_list), source)

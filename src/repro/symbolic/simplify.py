@@ -1,0 +1,120 @@
+"""Light-weight simplification passes over expression DAGs.
+
+Construction-time folding in :mod:`repro.symbolic.expr` already handles
+constants, identities, and flattening. This module adds passes that are
+only worth running once per analyzer output rather than on every node
+construction:
+
+* :func:`collect_terms` — merge duplicate additive terms with constant
+  coefficients (``x + x + 2*x -> 4*x``).
+* :func:`simplify` — fixed-point driver combining the passes.
+* :func:`count_nodes` — DAG size metric used in tests and reports.
+"""
+
+from __future__ import annotations
+
+from .expr import (
+    Add,
+    Ceil,
+    Cmp,
+    Const,
+    Div,
+    Expr,
+    Floor,
+    FloorDiv,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Piecewise,
+    Pow,
+    Sym,
+)
+
+__all__ = ["simplify", "collect_terms", "count_nodes"]
+
+
+def _split_coefficient(term: Expr) -> tuple[float, Expr]:
+    """Split ``term`` into (constant coefficient, residual factor)."""
+    if isinstance(term, Const):
+        return float(term.value), Const(1)
+    if isinstance(term, Mul):
+        coeff = 1.0
+        rest = []
+        for factor in term.children:
+            if isinstance(factor, Const):
+                coeff *= factor.value
+            else:
+                rest.append(factor)
+        if not rest:
+            return coeff, Const(1)
+        residual = rest[0] if len(rest) == 1 else Mul.make(*rest)
+        return coeff, residual
+    return 1.0, term
+
+
+def collect_terms(expr: Expr) -> Expr:
+    """Merge structurally identical additive terms within ``Add`` nodes."""
+
+    def rebuild(node: Expr) -> Expr:
+        if isinstance(node, (Const, Sym)):
+            return node
+        new_children = [rebuild(c) for c in node.children]
+        if isinstance(node, Add):
+            buckets: dict[tuple, tuple[float, Expr]] = {}
+            order: list[tuple] = []
+            for term in new_children:
+                coeff, residual = _split_coefficient(term)
+                key = residual._key()
+                if key in buckets:
+                    prev_coeff, _ = buckets[key]
+                    buckets[key] = (prev_coeff + coeff, residual)
+                else:
+                    buckets[key] = (coeff, residual)
+                    order.append(key)
+            terms = []
+            for key in order:
+                coeff, residual = buckets[key]
+                if coeff == 0:
+                    continue
+                terms.append(Mul.make(Const(coeff), residual))
+            if not terms:
+                return Const(0)
+            return Add.make(*terms)
+        if isinstance(node, (Mul, Max, Min)):
+            return type(node).make(*new_children)
+        if isinstance(node, (Div, FloorDiv, Mod, Pow)):
+            return type(node).make(*new_children)
+        if isinstance(node, (Ceil, Floor)):
+            return type(node).make(new_children[0])
+        if isinstance(node, Cmp):
+            return Cmp.make(node.op, *new_children)
+        if isinstance(node, Piecewise):
+            return Piecewise.make(*new_children)
+        raise TypeError(f"unknown node type {type(node).__name__}")  # pragma: no cover
+
+    return rebuild(expr)
+
+
+def simplify(expr: Expr, max_rounds: int = 3) -> Expr:
+    """Run :func:`collect_terms` to a fixed point (bounded)."""
+    current = expr
+    for _ in range(max_rounds):
+        nxt = collect_terms(current)
+        if nxt == current:
+            return nxt
+        current = nxt
+    return current
+
+
+def count_nodes(expr: Expr) -> int:
+    """Number of unique nodes in the expression DAG."""
+    seen: set[int] = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.extend(node.children)
+    return len(seen)

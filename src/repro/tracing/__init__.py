@@ -1,0 +1,46 @@
+"""Symbolic tracing and inter-layer analysis passes (paper Section 5.2)."""
+
+from .liveness import backward_transient, forward_transient
+from .memory import StageMemoryExprs, build_stage_memory
+from .runtime import StageRuntimeExprs, build_stage_runtime
+from .symbols import (
+    ALL_SYMBOLS,
+    AO,
+    B,
+    CKPT,
+    CONFIG_SYMBOLS,
+    D2H_BW,
+    DP,
+    DP_BW,
+    DP_LAT,
+    GACC,
+    GO,
+    H2D_BW,
+    HARDWARE_SYMBOLS,
+    HAS_POST,
+    HAS_PRE,
+    INFLIGHT,
+    L,
+    OO,
+    P2P_BW,
+    P2P_LAT,
+    S,
+    TP,
+    TP_BW,
+    TP_LAT,
+    WO,
+    Z1,
+    Z2,
+    Z3,
+)
+from .tracer import TracedModel, trace
+
+__all__ = [
+    "ALL_SYMBOLS", "AO", "B", "CKPT", "CONFIG_SYMBOLS", "D2H_BW", "DP",
+    "DP_BW", "DP_LAT", "GACC", "GO", "H2D_BW", "HARDWARE_SYMBOLS",
+    "HAS_POST", "HAS_PRE", "INFLIGHT", "L", "OO", "P2P_BW", "P2P_LAT",
+    "S", "StageMemoryExprs", "StageRuntimeExprs", "TP", "TP_BW", "TP_LAT",
+    "TracedModel", "WO", "Z1", "Z2", "Z3",
+    "backward_transient", "build_stage_memory", "build_stage_runtime",
+    "forward_transient", "trace",
+]

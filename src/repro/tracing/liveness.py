@@ -1,0 +1,86 @@
+"""Liveness analysis on symbolic layer graphs.
+
+"For memory analysis, Mist uses liveness analysis on the symbolic
+computational graph. It tracks live tensors during execution and
+determines peak memory usage by identifying the maximum memory
+allocation at any point." (paper Section 5.2.1)
+
+Two quantities per layer graph:
+
+* :func:`forward_transient` — the peak *working set* of one microbatch's
+  forward pass through the layer: at each op, the sum of tensors that
+  are live (produced but not yet consumed by their last consumer).
+* :func:`backward_transient` — the peak working set of the backward
+  sweep, derived from the "fake backward graph": at each op's backward,
+  the incoming output-gradient, the produced input-gradients, and the
+  activations the op stashed are simultaneously live.
+
+Both are symbolic expressions (``Max`` over per-op partial sums) that
+the stage memory model adds on top of resident states.
+"""
+
+from __future__ import annotations
+
+from repro.models.ops import LayerGraph
+from repro.symbolic import Const, Expr, smax
+
+__all__ = ["forward_transient", "backward_transient"]
+
+
+def _last_consumers(layer: LayerGraph) -> dict[str, int]:
+    """Map tensor name -> index of the op that consumes it last.
+
+    The layer's final output and the external input are pinned live for
+    the whole walk (the output feeds the next layer; the input may be a
+    residual source owned by the caller).
+    """
+    last: dict[str, int] = {}
+    for idx, op in enumerate(layer.ops):
+        for name in op.inputs:
+            last[name] = idx
+    n = len(layer.ops)
+    last[layer.input_tensor] = n  # owned by caller
+    last[layer.ops[-1].output] = n  # feeds the next layer
+    return last
+
+
+def forward_transient(layer: LayerGraph) -> Expr:
+    """Peak live-tensor bytes while executing the layer forward."""
+    last = _last_consumers(layer)
+    sizes: dict[str, Expr] = {layer.input_tensor: layer.input_bytes}
+    live: dict[str, Expr] = {layer.input_tensor: layer.input_bytes}
+    peaks: list[Expr] = []
+    for idx, op in enumerate(layer.ops):
+        sizes[op.output] = op.output_bytes
+        live[op.output] = op.output_bytes
+        total: Expr = Const(0)
+        for size in live.values():
+            total = total + size
+        peaks.append(total)
+        # free tensors whose last consumer was this op
+        for name in list(live):
+            if last.get(name, -1) == idx:
+                del live[name]
+    return smax(*peaks)
+
+
+def backward_transient(layer: LayerGraph) -> Expr:
+    """Peak working set of the backward sweep through the layer.
+
+    For each op (walked in reverse), its backward holds: the gradient
+    w.r.t. its output, the gradients it produces for its inputs, and the
+    activations it stashed in the forward pass. Stashed activations of
+    *other* ops are accounted separately (they are part of the stage's
+    saved-activation pool), so only the local stash enters here.
+    """
+    sizes: dict[str, Expr] = {layer.input_tensor: layer.input_bytes}
+    for op in layer.ops:
+        sizes[op.output] = op.output_bytes
+    peaks: list[Expr] = []
+    for op in reversed(layer.ops):
+        grad_out = sizes[op.output]
+        grad_ins: Expr = Const(0)
+        for name in op.inputs:
+            grad_ins = grad_ins + sizes[name]
+        peaks.append(grad_out + grad_ins + op.saved_bytes)
+    return smax(*peaks)

@@ -1,0 +1,115 @@
+"""Canonical optimization and hardware symbols (paper Table 2).
+
+Every expression produced by the tracing passes is written over this
+fixed vocabulary, so a single symbolic build per (model, GPU) serves
+every candidate configuration — values are substituted in batches at
+tuning time (Section 5.2's "batched value substitutions").
+
+Stage-configuration symbols (Table 2):
+
+==========  =============================================================
+``b``       microbatch size (from :mod:`repro.models.ops`)
+``s``       sequence length (from :mod:`repro.models.ops`)
+``tp``      tensor-parallel size (from :mod:`repro.models.ops`)
+``dp``      data-parallel size
+``l``       number of transformer layers in the stage
+``ckpt``    number of recomputed (checkpointed) layers, 0..l
+``z1..z3``  ZeRO flags: optimizer / gradients / parameters sharded (0/1)
+``wo``      weight offloading ratio in [0, 1]
+``go``      gradient offloading ratio
+``oo``      optimizer-state offloading ratio
+``ao``      activation offloading ratio
+``gacc``    gradient accumulation steps (G)
+``inflight``in-flight microbatches of this stage under 1F1B
+``has_pre`` 1 if the stage hosts the embedding (stage 0)
+``has_post``1 if the stage hosts the LM head (last stage)
+==========  =============================================================
+
+Hardware symbols (substituted from the cluster topology per candidate
+placement): ``tp_bw/tp_lat``, ``dp_bw/dp_lat``, ``p2p_bw/p2p_lat``,
+``h2d_bw``, ``d2h_bw``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware import ClusterSpec
+from repro.models.ops import B, S, TP
+from repro.symbolic import Sym
+
+__all__ = [
+    "B", "S", "TP", "DP", "L", "CKPT",
+    "Z1", "Z2", "Z3", "WO", "GO", "OO", "AO",
+    "GACC", "INFLIGHT", "HAS_PRE", "HAS_POST",
+    "TP_BW", "TP_LAT", "DP_BW", "DP_LAT", "P2P_BW", "P2P_LAT",
+    "H2D_BW", "D2H_BW",
+    "CONFIG_SYMBOLS", "HARDWARE_SYMBOLS", "ALL_SYMBOLS",
+    "hardware_env",
+]
+
+DP = Sym("dp", integer=True)
+L = Sym("l", integer=True)
+CKPT = Sym("ckpt", integer=True)
+
+Z1 = Sym("z1", integer=True)
+Z2 = Sym("z2", integer=True)
+Z3 = Sym("z3", integer=True)
+
+WO = Sym("wo")
+GO = Sym("go")
+OO = Sym("oo")
+AO = Sym("ao")
+
+GACC = Sym("gacc", integer=True)
+INFLIGHT = Sym("inflight", integer=True)
+HAS_PRE = Sym("has_pre", integer=True)
+HAS_POST = Sym("has_post", integer=True)
+
+TP_BW = Sym("tp_bw")
+TP_LAT = Sym("tp_lat")
+DP_BW = Sym("dp_bw")
+DP_LAT = Sym("dp_lat")
+P2P_BW = Sym("p2p_bw")
+P2P_LAT = Sym("p2p_lat")
+H2D_BW = Sym("h2d_bw")
+D2H_BW = Sym("d2h_bw")
+
+CONFIG_SYMBOLS = (B, S, TP, DP, L, CKPT, Z1, Z2, Z3, WO, GO, OO, AO,
+                  GACC, INFLIGHT, HAS_PRE, HAS_POST)
+HARDWARE_SYMBOLS = (TP_BW, TP_LAT, DP_BW, DP_LAT, P2P_BW, P2P_LAT,
+                    H2D_BW, D2H_BW)
+ALL_SYMBOLS = CONFIG_SYMBOLS + HARDWARE_SYMBOLS
+
+
+def hardware_env(cluster: ClusterSpec, dp, tp) -> dict[str, np.ndarray]:
+    """Hardware symbol values for (possibly batched) ``dp``/``tp`` arrays.
+
+    Bandwidths and latencies are resolved per (dp, tp) pair from the
+    cluster topology; unique pairs are looked up once and broadcast.
+    """
+    dp = np.atleast_1d(np.asarray(dp, dtype=int))
+    tp = np.atleast_1d(np.asarray(tp, dtype=int))
+    dp, tp = np.broadcast_arrays(dp, tp)
+    out = {name: np.empty(dp.shape) for name in
+           ("tp_bw", "tp_lat", "dp_bw", "dp_lat", "p2p_bw", "p2p_lat")}
+    pairs: dict[tuple[int, int], tuple[float, ...]] = {}
+    for i in np.ndindex(dp.shape):
+        key = (int(dp[i]), int(tp[i]))
+        if key not in pairs:
+            tg = cluster.tp_group(key[1])
+            dg = cluster.dp_group(key[0], key[1])
+            stage_gpus = key[0] * key[1]
+            pairs[key] = (
+                tg.bus_bandwidth, tg.latency,
+                dg.bus_bandwidth, dg.latency,
+                cluster.p2p_bandwidth(stage_gpus),
+                cluster.p2p_latency(stage_gpus),
+            )
+        values = pairs[key]
+        for name, value in zip(("tp_bw", "tp_lat", "dp_bw", "dp_lat",
+                                "p2p_bw", "p2p_lat"), values):
+            out[name][i] = value
+    out["h2d_bw"] = np.full(dp.shape, cluster.gpu.pcie_bandwidth)
+    out["d2h_bw"] = np.full(dp.shape, cluster.gpu.pcie_bandwidth)
+    return out

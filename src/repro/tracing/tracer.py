@@ -1,0 +1,59 @@
+"""Symbolic tracer: one-call construction of a stage's full analysis.
+
+Bundles the model graph construction (:func:`repro.models.trace_model`)
+with the inter-layer memory and runtime passes, mirroring the paper's
+"Symbolic Tracer -> Memory Analyzer / Runtime Analyzer" pipeline in
+Figure 6. The result — a :class:`TracedModel` — contains everything the
+performance analyzer compiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.opdb import OperatorDatabase
+from repro.hardware import GPUSpec
+from repro.models.config import ModelConfig
+from repro.models.graph import ModelGraph, trace_model
+
+from .memory import StageMemoryExprs, build_stage_memory
+from .runtime import StageRuntimeExprs, build_stage_runtime
+
+__all__ = ["TracedModel", "trace"]
+
+
+@dataclass
+class TracedModel:
+    """Symbolic memory and runtime models for one (model, GPU) pair."""
+
+    graph: ModelGraph
+    gpu: GPUSpec
+    opdb: OperatorDatabase
+    memory: StageMemoryExprs
+    runtime: StageRuntimeExprs
+
+    @property
+    def config(self) -> ModelConfig:
+        return self.graph.config
+
+    @property
+    def flash(self) -> bool:
+        return self.graph.flash
+
+
+def trace(config: ModelConfig, gpu: GPUSpec, *, flash: bool = True) -> TracedModel:
+    """Run the full symbolic analysis pipeline once for ``config``.
+
+    This is the expensive-but-once step of the paper's design: a single
+    symbolic pass that later answers *any* configuration query through
+    value substitution.
+    """
+    graph = trace_model(config, flash=flash)
+    db = OperatorDatabase(gpu)
+    return TracedModel(
+        graph=graph,
+        gpu=gpu,
+        opdb=db,
+        memory=build_stage_memory(graph),
+        runtime=build_stage_runtime(graph, db),
+    )

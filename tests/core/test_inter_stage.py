@@ -1,0 +1,137 @@
+"""Tests for the inter-stage MILP against exact enumeration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import StageConfig
+from repro.core.inter_stage import solve, solve_exact, solve_milp
+from repro.core.intra_stage import ParetoPoint
+
+
+def point(layers: int, t: float, d: float) -> ParetoPoint:
+    return ParetoPoint(
+        t=t, d=d, peak_mem=1.0,
+        config=StageConfig(layers=layers, microbatch=1, dp=1, tp=1),
+    )
+
+
+def menus_from_table(table):
+    """table[i][l] = [(t, d), ...] -> Menus structure."""
+    menus = []
+    for stage in table:
+        menus.append({
+            l: [point(l, t, d) for t, d in pts] for l, pts in stage.items()
+        })
+    return menus
+
+
+class TestExactSolver:
+    def test_single_stage(self):
+        menus = menus_from_table([{4: [(1.0, 0.1)]}])
+        sol = solve_exact(menus, 4, gacc=4)
+        assert sol is not None
+        assert sol.layer_counts == [4]
+        # (G-1)*t + t + d = 4*1 + 0.1
+        assert sol.objective == pytest.approx(4.1)
+
+    def test_balances_layers(self):
+        stage_menu = {l: [(0.5 * l, 0.0)] for l in (2, 3, 4)}
+        menus = menus_from_table([stage_menu, stage_menu])
+        sol = solve_exact(menus, 6, gacc=8)
+        assert sorted(sol.layer_counts) == [3, 3]
+
+    def test_infeasible_returns_none(self):
+        menus = menus_from_table([{2: [(1.0, 0.0)]}, {2: [(1.0, 0.0)]}])
+        assert solve_exact(menus, 10, gacc=2) is None
+
+    def test_empty_menu_returns_none(self):
+        menus = menus_from_table([{2: [(1.0, 0.0)]}, {}])
+        assert solve_exact(menus, 4, gacc=2) is None
+
+    def test_trades_t_against_d(self):
+        """With many microbatches, pick low t; with one, pick low d."""
+        menu = {4: [(1.0, 5.0), (1.3, 0.0)]}
+        menus = menus_from_table([menu])
+        many = solve_exact(menus, 4, gacc=64)
+        assert many.choices[0].t == pytest.approx(1.0)
+        few = solve_exact(menus_from_table([menu]), 4, gacc=1)
+        assert few.choices[0].t == pytest.approx(1.3)
+
+
+class TestMILPSolver:
+    def test_matches_exact_on_small_instance(self):
+        stage_menu = {
+            l: [(0.4 * l, 0.2), (0.5 * l, 0.0)] for l in (2, 3, 4)
+        }
+        menus = menus_from_table([stage_menu, stage_menu])
+        exact = solve_exact(menus, 6, gacc=4)
+        milp = solve_milp(menus, 6, gacc=4)
+        assert milp is not None
+        assert milp.objective == pytest.approx(exact.objective, rel=1e-6)
+
+    def test_respects_layer_budget(self):
+        stage_menu = {l: [(1.0, 0.0)] for l in (1, 2, 3)}
+        menus = menus_from_table([stage_menu] * 3)
+        sol = solve_milp(menus, 7, gacc=2)
+        assert sum(sol.layer_counts) == 7
+
+    def test_imbalance_unaware_ignores_deltas(self):
+        menu = {4: [(1.0, 9.0), (1.4, 0.0)]}
+        menus = menus_from_table([menu])
+        aware = solve_milp(menus, 4, gacc=2, imbalance_aware=True)
+        unaware = solve_milp(menus, 4, gacc=2, imbalance_aware=False)
+        assert aware.choices[0].t == pytest.approx(1.4)
+        assert unaware.choices[0].t == pytest.approx(1.0)
+
+    def test_infeasible_returns_none(self):
+        menus = menus_from_table([{2: [(1.0, 0.0)]}])
+        assert solve_milp(menus, 9, gacc=2) is None
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_stages=st.integers(min_value=1, max_value=3),
+        gacc=st.integers(min_value=1, max_value=16),
+    )
+    def test_milp_equals_exact_property(self, seed, num_stages, gacc):
+        """On random small instances the MILP is exactly optimal."""
+        rng = np.random.default_rng(seed)
+        layer_options = [2, 3, 4]
+        table = []
+        for _ in range(num_stages):
+            stage = {}
+            for l in layer_options:
+                pts = [
+                    (float(rng.uniform(0.1, 2.0) * l),
+                     float(rng.uniform(0.0, 3.0)))
+                    for _ in range(rng.integers(1, 3))
+                ]
+                stage[l] = pts
+            table.append(stage)
+        total = int(rng.integers(num_stages * 2, num_stages * 4 + 1))
+        menus_a = menus_from_table(table)
+        menus_b = menus_from_table(table)
+        exact = solve_exact(menus_a, total, gacc)
+        milp = solve_milp(menus_b, total, gacc)
+        if exact is None:
+            assert milp is None
+        else:
+            assert milp is not None
+            assert milp.objective == pytest.approx(exact.objective, rel=1e-6)
+
+
+class TestDispatch:
+    def test_small_instances_use_exact(self):
+        menus = menus_from_table([{2: [(1.0, 0.0)]}, {2: [(1.0, 0.0)]}])
+        sol = solve(menus, 4, 2)
+        assert sol is not None
+
+    def test_large_instances_use_milp(self):
+        stage_menu = {l: [(0.1 * l + 0.01 * k, 0.02 * k) for k in range(8)]
+                      for l in range(2, 12)}
+        menus = menus_from_table([stage_menu] * 4)
+        sol = solve(menus, 24, 8)
+        assert sol is not None
+        assert sum(sol.layer_counts) == 24

@@ -1,0 +1,117 @@
+"""Tests for the intra-stage tuner and Pareto frontier extraction."""
+
+import pytest
+
+from repro.core import SPACE_3D, SPACE_MIST, SymbolicPerformanceAnalyzer
+from repro.core.intra_stage import IntraStageTuner, StageShape
+from repro.hardware import make_cluster
+from repro.models import get_model
+from repro.tracing import trace
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    cluster = make_cluster("L4", 1, 4)
+    traced = trace(get_model("gpt3-1.3b"), cluster.gpu, flash=True)
+    return SymbolicPerformanceAnalyzer(traced, cluster)
+
+
+def make_tuner(analyzer, space=SPACE_MIST, **kwargs):
+    defaults = dict(global_batch=16, seq_len=2048, max_pareto_points=6)
+    defaults.update(kwargs)
+    return IntraStageTuner(analyzer, space, **defaults)
+
+
+SHAPE = StageShape(stage_gpus=2, gacc=4, inflight=2, has_pre=True,
+                   has_post=False)
+
+
+class TestEnumeration:
+    def test_returns_menu_per_layer_count(self, analyzer):
+        tuner = make_tuner(analyzer)
+        menus = tuner.tune(SHAPE, [10, 12, 14])
+        assert set(menus) == {10, 12, 14}
+        assert any(menus.values())
+
+    def test_counts_evaluated_configs(self, analyzer):
+        tuner = make_tuner(analyzer)
+        tuner.tune(SHAPE, [12])
+        assert tuner.evaluated > 100
+
+    def test_bigger_space_evaluates_more(self, analyzer):
+        small = make_tuner(analyzer, space=SPACE_3D)
+        big = make_tuner(analyzer, space=SPACE_MIST)
+        small.tune(SHAPE, [12])
+        big.tune(SHAPE, [12])
+        assert big.evaluated > small.evaluated
+
+    def test_microbatch_follows_dp(self, analyzer):
+        tuner = make_tuner(analyzer, global_batch=16)
+        menus = tuner.tune(StageShape(stage_gpus=4, gacc=4, inflight=1,
+                                      has_pre=True, has_post=True), [24])
+        for point in menus[24]:
+            cfg = point.config
+            assert cfg.dp * cfg.microbatch * 4 == 16
+
+    def test_infeasible_batch_yields_empty(self, analyzer):
+        # global batch 3 cannot split over gacc=2
+        tuner = make_tuner(analyzer, global_batch=3)
+        menus = tuner.tune(StageShape(stage_gpus=2, gacc=2, inflight=1,
+                                      has_pre=True, has_post=True), [24])
+        assert menus[24] == []
+
+
+class TestParetoFrontier:
+    def test_frontier_is_nondominated(self, analyzer):
+        tuner = make_tuner(analyzer)
+        menus = tuner.tune(SHAPE, [12])
+        points = menus[12]
+        assert points
+        for i, a in enumerate(points):
+            for j, b in enumerate(points):
+                if i == j:
+                    continue
+                dominated = b.t <= a.t and b.d <= a.d and (
+                    b.t < a.t or b.d < a.d
+                )
+                assert not dominated, (a, b)
+
+    def test_frontier_sorted_by_t(self, analyzer):
+        tuner = make_tuner(analyzer)
+        points = tuner.tune(SHAPE, [12])[12]
+        ts = [p.t for p in points]
+        assert ts == sorted(ts)
+
+    def test_frontier_capped(self, analyzer):
+        tuner = make_tuner(analyzer, max_pareto_points=3)
+        points = tuner.tune(SHAPE, [12])[12]
+        assert len(points) <= 3
+
+    def test_memory_respected(self, analyzer):
+        tuner = make_tuner(analyzer)
+        for points in tuner.tune(SHAPE, [10, 12]).values():
+            for point in points:
+                assert point.peak_mem <= analyzer.memory_budget
+
+    def test_full_ckpt_policy_forces_recompute(self, analyzer):
+        space = SPACE_3D.with_(name="full", ckpt_policy="full")
+        tuner = make_tuner(analyzer, space=space)
+        points = tuner.tune(SHAPE, [12])[12]
+        assert points
+        for point in points:
+            assert point.config.ckpt == point.config.layers
+
+    def test_auto_policy_is_full_or_none(self, analyzer):
+        tuner = make_tuner(analyzer, space=SPACE_3D)
+        points = tuner.tune(SHAPE, [12])[12]
+        for point in points:
+            assert point.config.ckpt in (0, point.config.layers)
+
+    def test_objective_helper(self, analyzer):
+        tuner = make_tuner(analyzer)
+        points = tuner.tune(SHAPE, [12])[12]
+        point = points[0]
+        assert point.objective(alpha=1.0, gacc=4) == pytest.approx(
+            4 * point.t
+        )
+        assert point.objective(alpha=0.0, gacc=4) == pytest.approx(point.d)

@@ -1,0 +1,79 @@
+"""Integration tests for the hierarchical MistTuner."""
+
+import pytest
+
+from repro.core import (
+    MistTuner,
+    SPACE_3D,
+    SPACE_3D_ZERO,
+    SPACE_MIST,
+)
+from repro.evaluation import calibrated_interference
+from repro.execution import ExecutionEngine
+from repro.hardware import make_cluster
+from repro.models import get_model
+
+MODEL = get_model("gpt3-1.3b")
+CLUSTER = make_cluster("L4", 1, 2)
+SEQ_LEN = 2048
+BATCH = 16
+
+
+def make_tuner(space=SPACE_MIST, **kwargs):
+    defaults = dict(seq_len=SEQ_LEN, flash=True, space=space,
+                    interference=calibrated_interference(True),
+                    max_pareto_points=4, max_gacc_candidates=3)
+    defaults.update(kwargs)
+    return MistTuner(MODEL, CLUSTER, **defaults)
+
+
+@pytest.fixture(scope="module")
+def mist_result():
+    return make_tuner().tune(BATCH)
+
+
+class TestTuner:
+    def test_finds_valid_plan(self, mist_result):
+        assert mist_result.found
+        mist_result.best_plan.validate(MODEL, CLUSTER)
+
+    def test_plan_executes_without_oom(self, mist_result):
+        engine = ExecutionEngine(CLUSTER, system="mist")
+        result = engine.run(mist_result.best_plan, MODEL, seq_len=SEQ_LEN)
+        assert result.throughput > 0
+
+    def test_prediction_close_to_execution(self, mist_result):
+        engine = ExecutionEngine(CLUSTER, system="mist")
+        result = engine.run(mist_result.best_plan, MODEL, seq_len=SEQ_LEN)
+        err = abs(result.iteration_time
+                  - mist_result.predicted_iteration_time)
+        assert err / result.iteration_time < 0.10
+
+    def test_search_log_populated(self, mist_result):
+        assert mist_result.search_log
+        assert all("num_stages" in entry for entry in mist_result.search_log)
+
+    def test_wider_space_never_predicts_worse(self):
+        narrow = make_tuner(space=SPACE_3D).tune(BATCH)
+        wide = make_tuner(space=SPACE_MIST).tune(BATCH)
+        assert wide.found and narrow.found
+        assert wide.predicted_throughput >= narrow.predicted_throughput * 0.99
+
+    def test_zero_space_includes_zero_configs(self):
+        result = make_tuner(space=SPACE_3D_ZERO).tune(BATCH)
+        assert result.found
+
+    def test_gacc_candidates_capped(self):
+        tuner = make_tuner(max_gacc_candidates=2)
+        assert len(tuner._gacc_candidates(256, 1)) <= 2
+
+    def test_layer_counts_around_balance(self):
+        tuner = make_tuner()
+        counts = tuner._layer_counts(2)
+        assert 12 in counts
+        assert min(counts) >= 1
+
+    def test_imbalance_unaware_variant_runs(self):
+        space = SPACE_MIST.with_(name="no-imb", imbalance_aware=False)
+        result = make_tuner(space=space).tune(BATCH)
+        assert result.found

@@ -1,0 +1,90 @@
+"""Tests for workload specs, the runner, and report formatting."""
+
+import pytest
+
+from repro.evaluation import (
+    SCALES,
+    WorkloadSpec,
+    format_series,
+    format_table,
+    format_throughput_rows,
+    paper_workloads,
+    run_baseline,
+    run_mist,
+)
+from repro.evaluation.workloads import gpu_count_for_size
+
+
+class TestWorkloads:
+    def test_paper_grid_scaling_rule(self):
+        specs = paper_workloads("L4")
+        assert len(specs) == 5
+        by_size = {s.model_spec: s for s in specs}
+        assert by_size["gpt3-1.3b"].num_gpus == 2
+        assert by_size["gpt3-22b"].num_gpus == 32
+        assert by_size["gpt3-22b"].global_batch == 512
+
+    def test_seq_len_per_gpu_type(self):
+        assert paper_workloads("L4")[0].seq_len == 2048
+        assert paper_workloads("A100-40GB")[0].seq_len == 4096
+
+    def test_cluster_shape(self):
+        spec = WorkloadSpec("gpt3-13b", "L4", 16, 256, 2048)
+        cluster = spec.cluster
+        assert cluster.total_gpus == 16
+        assert cluster.gpus_per_node == 8
+        assert cluster.num_nodes == 2
+
+    def test_gpu_count_lookup(self):
+        assert gpu_count_for_size("6.7b") == 8
+        with pytest.raises(KeyError):
+            gpu_count_for_size("100b")
+
+    def test_workload_name_unique_per_config(self):
+        a = WorkloadSpec("gpt3-1.3b", "L4", 2, 32, 2048)
+        b = WorkloadSpec("gpt3-1.3b", "L4", 2, 32, 2048, flash=False)
+        assert a.name != b.name
+
+
+class TestRunner:
+    SPEC = WorkloadSpec("gpt3-1.3b", "L4", 2, 16, 2048)
+
+    def test_run_mist_outcome(self):
+        outcome = run_mist(self.SPEC, scale=SCALES["smoke"])
+        assert outcome.found
+        assert outcome.throughput > 0
+        assert outcome.plan is not None
+        assert "configurations_evaluated" in outcome.extra
+
+    def test_run_baseline_outcome(self):
+        outcome = run_baseline(self.SPEC, "megatron")
+        assert outcome.found
+        assert outcome.extra["candidates_tried"] > 0
+
+    def test_unknown_baseline_rejected(self):
+        with pytest.raises(KeyError):
+            run_baseline(self.SPEC, "alpa")
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "long header"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_throughput_rows_normalization(self):
+        text = format_throughput_rows(
+            "T", {"w1": {"megatron": 2.0, "mist": 3.0}}, "megatron"
+        )
+        assert "1.50x" in text
+        assert "1.00x" in text
+
+    def test_throughput_rows_oom_marker(self):
+        text = format_throughput_rows(
+            "T", {"w1": {"megatron": 2.0, "mist": 0.0}}, "megatron"
+        )
+        assert "OOM" in text
+
+    def test_format_series(self):
+        text = format_series("S", "x", {"m": [1, 2, 3]}, [10, 20, 30])
+        assert "10" in text and "m" in text

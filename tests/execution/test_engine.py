@@ -1,0 +1,132 @@
+"""Integration tests for the execution engine."""
+
+import pytest
+
+from repro.core.plan import StageConfig, TrainingPlan, uniform_plan
+from repro.execution import ExecutionEngine, OOMError, render_timeline
+from repro.hardware import make_cluster
+from repro.models import get_model
+
+
+@pytest.fixture(scope="module")
+def model():
+    return get_model("gpt3-2.7b")
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return make_cluster("L4", 1, 4)
+
+
+@pytest.fixture(scope="module")
+def engine(cluster):
+    return ExecutionEngine(cluster, system="mist")
+
+
+def fig2b_plan(model, cluster):
+    """The paper's Fig. 2(b) plan: full CKPT, DP=2, PP=2."""
+    return uniform_plan(model, cluster, global_batch=8, gacc=4,
+                        num_stages=2, dp=2, tp=1, ckpt_all=True)
+
+
+class TestEngineBasics:
+    def test_fig2b_runs_within_memory(self, engine, model, cluster):
+        result = engine.run(fig2b_plan(model, cluster), model, seq_len=4096)
+        assert result.throughput > 0
+        assert all(r.fits for r in result.stage_memory)
+        # the paper's example sits near the memory limit
+        assert result.peak_memory > 0.85 * result.stage_memory[0].capacity
+
+    def test_no_memopt_ooms(self, engine, model, cluster):
+        plan = uniform_plan(model, cluster, global_batch=8, gacc=4,
+                            num_stages=2, dp=2, tp=1, ckpt_all=False)
+        with pytest.raises(OOMError):
+            engine.run(plan, model, seq_len=4096)
+
+    def test_zero2_beats_full_ckpt_pipeline(self, engine, model, cluster):
+        """The Fig. 2(d) result: ZeRO-2 + DP=4 beats full-CKPT + PP=2."""
+        base = engine.run(fig2b_plan(model, cluster), model, seq_len=4096)
+        z2 = uniform_plan(model, cluster, global_batch=8, gacc=1,
+                          num_stages=1, dp=4, tp=1, zero=2, ckpt_all=True)
+        faster = engine.run(z2, model, seq_len=4096)
+        assert faster.throughput > base.throughput
+
+    def test_cooptimized_beats_zero_only(self, engine, model, cluster):
+        """The Fig. 2(f) result: ZeRO-2 + reduced CKPT beats ZeRO-2 alone."""
+        z2 = uniform_plan(model, cluster, global_batch=8, gacc=1,
+                          num_stages=1, dp=4, tp=1, zero=2, ckpt_all=True)
+        co = TrainingPlan(
+            global_batch=8, gacc=1,
+            stages=(StageConfig(layers=32, microbatch=2, dp=4, tp=1,
+                                zero=2, ckpt=28),),
+        )
+        r_z2 = engine.run(z2, model, seq_len=4096)
+        r_co = engine.run(co, model, seq_len=4096)
+        assert r_co.throughput > r_z2.throughput
+
+    def test_invalid_plan_rejected(self, engine, model, cluster):
+        plan = uniform_plan(model, cluster, global_batch=8, gacc=4,
+                            num_stages=2, dp=2, tp=1, ckpt_all=True)
+        wrong_model = get_model("gpt3-1.3b")
+        with pytest.raises(Exception):
+            engine.run(plan, wrong_model, seq_len=4096)
+
+    def test_unknown_system_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            ExecutionEngine(cluster, system="pytorch")
+
+
+class TestSystemDifferences:
+    def test_megatron_faster_than_mist_same_plan(self, model, cluster):
+        """Same search space, Mist slightly slower (impl overhead, Fig 13)."""
+        plan = fig2b_plan(model, cluster)
+        mist = ExecutionEngine(cluster, system="mist").run(
+            plan, model, seq_len=4096
+        )
+        megatron = ExecutionEngine(cluster, system="megatron").run(
+            plan, model, seq_len=4096
+        )
+        assert megatron.throughput > mist.throughput
+        assert megatron.throughput < 1.08 * mist.throughput
+
+    def test_offload_plan_hurts_more_without_overlap(self, model, cluster):
+        """Mist overlaps offload traffic; DeepSpeed-style serializes it."""
+        plan = TrainingPlan(
+            global_batch=8, gacc=1,
+            stages=(StageConfig(layers=32, microbatch=2, dp=4, tp=1,
+                                zero=2, ckpt=32, oo=0.5),),
+        )
+        mist = ExecutionEngine(cluster, system="mist").run(
+            plan, model, seq_len=4096
+        )
+        ds = ExecutionEngine(cluster, system="deepspeed").run(
+            plan, model, seq_len=4096
+        )
+        assert mist.throughput > ds.throughput
+
+    def test_serial_slowest(self, model, cluster):
+        plan = fig2b_plan(model, cluster)
+        serial = ExecutionEngine(cluster, system="serial").run(
+            plan, model, seq_len=4096
+        )
+        mist = ExecutionEngine(cluster, system="mist").run(
+            plan, model, seq_len=4096
+        )
+        assert serial.throughput <= mist.throughput * 1.02
+
+
+class TestTimeline:
+    def test_render_contains_all_stages(self, engine, model, cluster):
+        result = engine.run(fig2b_plan(model, cluster), model, seq_len=4096)
+        art = render_timeline(result.pipeline, width=60)
+        assert "stage  0" in art and "stage  1" in art
+        assert "idle" in art
+
+    def test_deeper_pipeline_has_bigger_bubbles(self, engine, model, cluster):
+        shallow = engine.run(fig2b_plan(model, cluster), model, seq_len=4096)
+        deep_plan = uniform_plan(model, cluster, global_batch=8, gacc=4,
+                                 num_stages=4, dp=1, tp=1, ckpt_all=True)
+        deep = engine.run(deep_plan, model, seq_len=4096)
+        assert max(
+            deep.pipeline.bubble_fraction(i) for i in range(4)
+        ) > max(shallow.pipeline.bubble_fraction(i) for i in range(2))

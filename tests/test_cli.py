@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_models_command(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "gpt3-2.7b" in out
+        assert "llama-6.7b" in out
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tune_requires_workload_args(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "--model", "gpt3-1.3b"])
+
+
+class TestAnalyze:
+    def test_analyze_valid_config(self, capsys):
+        code = main([
+            "analyze", "--model", "gpt3-1.3b", "--gpu", "L4",
+            "--gpus", "2", "--global-batch", "8", "--seq-len", "2048",
+            "--stages", "2", "--dp", "1", "--gacc", "8",
+            "--zero", "1", "--ckpt", "full",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "samples/s" in out
+
+    def test_analyze_oom_reported(self, capsys):
+        code = main([
+            "analyze", "--model", "gpt3-6.7b", "--gpu", "L4",
+            "--gpus", "2", "--global-batch", "8", "--seq-len", "2048",
+            "--stages", "1", "--dp", "2", "--gacc", "4",
+        ])
+        assert code == 1
+        assert "OOM" in capsys.readouterr().out
+
+    def test_analyze_invalid_config(self, capsys):
+        code = main([
+            "analyze", "--model", "gpt3-1.3b", "--gpu", "L4",
+            "--gpus", "2", "--global-batch", "7", "--stages", "2",
+            "--dp", "2", "--gacc", "2",
+        ])
+        assert code == 1
+        assert "invalid" in capsys.readouterr().out
+
+    def test_analyze_timeline(self, capsys):
+        code = main([
+            "analyze", "--model", "gpt3-1.3b", "--gpu", "L4",
+            "--gpus", "2", "--global-batch", "8", "--seq-len", "2048",
+            "--stages", "2", "--dp", "1", "--gacc", "8",
+            "--zero", "1", "--ckpt", "full", "--timeline",
+        ])
+        assert code == 0
+        assert "stage  0 |" in capsys.readouterr().out
+
+
+class TestTune:
+    def test_tune_smoke_scale(self, capsys):
+        code = main([
+            "tune", "--model", "gpt3-1.3b", "--gpu", "L4",
+            "--gpus", "2", "--global-batch", "8", "--seq-len", "2048",
+            "--scale", "smoke",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan[mist" in out
+        assert "samples/s" in out

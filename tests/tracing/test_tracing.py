@@ -1,0 +1,155 @@
+"""Tests for liveness analysis and the stage memory/runtime models."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import get_gpu, make_cluster
+from repro.models import build_transformer_layer, get_model
+from repro.symbolic import evaluate, free_symbols
+from repro.tracing import (
+    backward_transient,
+    forward_transient,
+    trace,
+)
+from repro.tracing.symbols import hardware_env
+
+BASE_ENV = {"b": 2, "s": 2048, "tp": 1}
+
+
+def full_env(cluster, **overrides):
+    env = dict(
+        b=2, s=2048, tp=1, dp=2, l=8, ckpt=0,
+        z1=0, z2=0, z3=0, wo=0.0, go=0.0, oo=0.0, ao=0.0,
+        gacc=4, inflight=2, has_pre=0, has_post=0,
+    )
+    env.update({k: float(v.reshape(-1)[0])
+                for k, v in hardware_env(cluster, env["dp"], env["tp"]).items()})
+    env.update(overrides)
+    return env
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return trace(get_model("gpt3-1.3b"), get_gpu("L4"), flash=True)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return make_cluster("L4", 1, 8)
+
+
+class TestLiveness:
+    def test_forward_transient_positive_and_bounded(self):
+        layer = build_transformer_layer(get_model("gpt3-1.3b"), flash=True)
+        transient = evaluate(forward_transient(layer), BASE_ENV)
+        saved = evaluate(layer.saved_activation_bytes(), BASE_ENV)
+        assert 0 < transient < 2 * saved
+
+    def test_backward_transient_exceeds_forward(self):
+        layer = build_transformer_layer(get_model("gpt3-1.3b"), flash=False)
+        fwd = evaluate(forward_transient(layer), BASE_ENV)
+        bwd = evaluate(backward_transient(layer), BASE_ENV)
+        assert bwd > 0.5 * fwd  # gradients + stashes in flight
+
+    def test_transient_scales_with_batch(self):
+        layer = build_transformer_layer(get_model("gpt3-1.3b"), flash=True)
+        t1 = evaluate(forward_transient(layer), {"b": 1, "s": 2048, "tp": 1})
+        t4 = evaluate(forward_transient(layer), {"b": 4, "s": 2048, "tp": 1})
+        assert t4 == pytest.approx(4 * t1, rel=0.01)
+
+
+class TestStageMemory:
+    def test_symbols_are_canonical(self, traced):
+        syms = free_symbols(traced.memory.peak_bwd)
+        assert "l" in syms and "ckpt" in syms and "ao" in syms
+
+    def test_ckpt_reduces_memory(self, traced, cluster):
+        env = full_env(cluster)
+        base = evaluate(traced.memory.peak_bwd, env)
+        ck = evaluate(traced.memory.peak_bwd, full_env(cluster, ckpt=8))
+        assert ck < base
+
+    def test_zero3_reduces_param_memory(self, traced, cluster):
+        base = evaluate(traced.memory.params_resident, full_env(cluster))
+        sharded = evaluate(traced.memory.params_resident,
+                           full_env(cluster, z3=1, dp=4))
+        # 1/4 sharded plus the two-layer gather buffer
+        assert sharded < 0.6 * base
+
+    def test_offloading_reduces_memory_monotonically(self, traced, cluster):
+        peaks = [
+            evaluate(traced.memory.peak_bwd, full_env(cluster, oo=r))
+            for r in (0.0, 0.25, 0.5, 1.0)
+        ]
+        assert all(a >= b for a, b in zip(peaks, peaks[1:]))
+
+    def test_activation_offload_scales_with_inflight(self, traced, cluster):
+        tall = evaluate(traced.memory.activations_resident,
+                        full_env(cluster, inflight=4))
+        short = evaluate(traced.memory.activations_resident,
+                         full_env(cluster, inflight=1))
+        assert tall > 2 * short
+
+    def test_first_stage_heavier_than_middle(self, traced, cluster):
+        middle = evaluate(traced.memory.peak_bwd, full_env(cluster))
+        first = evaluate(traced.memory.peak_bwd, full_env(cluster, has_pre=1))
+        assert first > middle
+
+
+class TestStageRuntime:
+    def test_ckpt_adds_recompute_time(self, traced, cluster):
+        base = evaluate(traced.runtime.comp_bwd, full_env(cluster))
+        ck = evaluate(traced.runtime.comp_bwd, full_env(cluster, ckpt=8))
+        assert ck > base
+
+    def test_tp_comm_zero_when_tp1(self, traced, cluster):
+        assert evaluate(traced.runtime.tp_fwd, full_env(cluster)) == 0
+
+    def test_tp_comm_positive_when_sharded(self, traced, cluster):
+        env = full_env(cluster, tp=2)
+        env.update({k: float(v.reshape(-1)[0]) for k, v in
+                    hardware_env(cluster, 2, 2).items()})
+        assert evaluate(traced.runtime.tp_fwd, env) > 0
+
+    def test_zero3_adds_dp_comm(self, traced, cluster):
+        base = evaluate(traced.runtime.dp_fwd, full_env(cluster))
+        z3 = evaluate(traced.runtime.dp_fwd, full_env(cluster, z3=1))
+        assert base == 0 and z3 > 0
+
+    def test_grad_sync_moves_between_phases(self, traced, cluster):
+        """ZeRO<2: grad sync in dp_last; ZeRO-2: per-microbatch dp_bwd."""
+        env0 = full_env(cluster)
+        env2 = full_env(cluster, z1=1, z2=1)
+        assert evaluate(traced.runtime.dp_last, env0) > 0
+        assert evaluate(traced.runtime.dp_bwd, env0) == 0
+        assert evaluate(traced.runtime.dp_last, env2) == 0
+        assert evaluate(traced.runtime.dp_bwd, env2) > 0
+
+    def test_offload_traffic_on_host_channels(self, traced, cluster):
+        env = full_env(cluster, ao=0.5)
+        assert evaluate(traced.runtime.d2h_fwd, env) > 0
+        assert evaluate(traced.runtime.h2d_bwd, env) > 0
+        assert evaluate(traced.runtime.d2h_fwd, full_env(cluster)) == 0
+
+    def test_optimizer_offload_first_microbatch_only(self, traced, cluster):
+        env = full_env(cluster, oo=0.5)
+        assert evaluate(traced.runtime.h2d_first, env) > 0
+        assert evaluate(traced.runtime.d2h_first, env) > 0
+
+    def test_edge_stage_p2p_cheaper(self, traced, cluster):
+        interior = evaluate(traced.runtime.p2p_fwd, full_env(cluster))
+        first = evaluate(traced.runtime.p2p_fwd, full_env(cluster, has_pre=1))
+        single = evaluate(traced.runtime.p2p_fwd,
+                          full_env(cluster, has_pre=1, has_post=1))
+        assert interior > first > single == 0
+
+    def test_batched_evaluation_matches_scalar(self, traced, cluster):
+        """Vectorized envs agree with per-point evaluation."""
+        ckpts = np.array([0, 4, 8])
+        env = full_env(cluster)
+        env["ckpt"] = ckpts
+        batched = evaluate(traced.runtime.comp_bwd, env)
+        for i, c in enumerate(ckpts):
+            scalar = evaluate(traced.runtime.comp_bwd,
+                              full_env(cluster, ckpt=int(c)))
+            assert batched[i] == pytest.approx(scalar)
