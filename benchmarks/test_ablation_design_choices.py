@@ -137,7 +137,7 @@ def test_ablation_pareto_budget(report, benchmark):
                 interference=calibrated_interference(True),
                 max_pareto_points=k, max_gacc_candidates=3,
             )
-            tuned = tuner.tune(16)
+            tuned = tuner.search(16)
             results[k] = tuned.predicted_iteration_time
         return results
 

@@ -70,7 +70,7 @@ def _run_with_model(spec, model, space):
         max_pareto_points=scale.max_pareto_points,
         max_gacc_candidates=scale.max_gacc_candidates,
     )
-    tuned = tuner.tune(spec.global_batch)
+    tuned = tuner.search(spec.global_batch)
     if tuned.best_plan is None:
         return 0.0
     try:

@@ -52,9 +52,18 @@ def _measure():
             max_pareto_points=scale.max_pareto_points,
             max_gacc_candidates=scale.max_gacc_candidates,
         )
-        tuned = tuner.tune(spec.global_batch)
+        tuned = tuner.search(spec.global_batch)
         times[space.name] = tuned.tuning_time_seconds
         configs[space.name] = tuned.configurations_evaluated
+        last_tuner, last_tuned = tuner, tuned
+
+    # §5.3: the (S, G) grid is embarrassingly parallel across cores —
+    # re-run the widest space with one worker per core and check the
+    # fan-out returns the identical plan.
+    parallel = last_tuner.search(spec.global_batch, parallelism=0)
+    assert parallel.best_plan == last_tuned.best_plan
+    times["Mist (parallel S,G)"] = parallel.tuning_time_seconds
+    configs["Mist (parallel S,G)"] = parallel.configurations_evaluated
 
     aceso = AcesoTuner(spec.model, cluster, seq_len=spec.seq_len)
     aceso_result = aceso.tune(spec.global_batch)

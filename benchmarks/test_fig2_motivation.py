@@ -41,7 +41,7 @@ def _run_panel(space):
     interference = calibrated_interference(pcie_only=True)
     tuner = MistTuner(MODEL, CLUSTER, seq_len=SEQ_LEN, space=space,
                       interference=interference)
-    tuned = tuner.tune(GLOBAL_BATCH)
+    tuned = tuner.search(GLOBAL_BATCH)
     if tuned.best_plan is None:
         return None
     engine = ExecutionEngine(CLUSTER, system="mist")

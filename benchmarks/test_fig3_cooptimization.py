@@ -36,7 +36,7 @@ def _run(space_key):
         max_pareto_points=scale.max_pareto_points,
         max_gacc_candidates=scale.max_gacc_candidates,
     )
-    tuned = tuner.tune(GLOBAL_BATCH)
+    tuned = tuner.search(GLOBAL_BATCH)
     if tuned.best_plan is None:
         return None, None
     engine = ExecutionEngine(CLUSTER, system="mist")

@@ -2,53 +2,53 @@
 """Multi-node sweep: tuning the same model across cluster shapes.
 
 Tunes GPT-3 6.7B on several simulated clusters (PCIe L4 vs NVLink A100,
-single- and multi-node) and reports how the chosen strategy shifts with
-the hardware — the paper's Section 6.2 observation that memory-tight
-PCIe machines reward aggressive memory-parallelism co-optimization,
-while NVLink machines run closer to their physical limits.
+single- and multi-node) through the solver API and reports how the
+chosen strategy shifts with the hardware — the paper's Section 6.2
+observation that memory-tight PCIe machines reward aggressive
+memory-parallelism co-optimization, while NVLink machines run closer to
+their physical limits.
+
+Each cluster shape is one declarative job; re-running the script with
+``REPRO_PLAN_CACHE`` set reuses previously solved plans from disk.
 
 Run:  python examples/cluster_sweep.py
 """
 
-from repro import MistTuner, get_model, make_cluster
-from repro.evaluation import calibrated_interference
-from repro.execution import ExecutionEngine
+import os
 
-MODEL = get_model("gpt3-6.7b")
+from repro.api import PlanCache, TuningJob, solve
+
+MODEL = "gpt3-6.7b"
 GLOBAL_BATCH = 128
 
 CLUSTERS = [
-    ("L4", 1, 8, 2048),
-    ("L4", 2, 8, 2048),
-    ("A100-40GB", 1, 8, 4096),
-    ("A100-40GB", 2, 8, 4096),
+    ("L4", 8, 2048),
+    ("L4", 16, 2048),
+    ("A100-40GB", 8, 4096),
+    ("A100-40GB", 16, 4096),
 ]
 
 
 def main() -> None:
+    cache = PlanCache() if os.environ.get("REPRO_PLAN_CACHE") else None
     print(f"model: {MODEL}, global batch {GLOBAL_BATCH}\n")
     rows = []
-    for gpu, nodes, per_node, seq_len in CLUSTERS:
-        cluster = make_cluster(gpu, nodes, per_node)
-        interference = calibrated_interference(
-            pcie_only=not cluster.gpu.has_nvlink
+    for gpu, num_gpus, seq_len in CLUSTERS:
+        job = TuningJob(
+            model=MODEL, gpu=gpu, num_gpus=num_gpus,
+            global_batch=GLOBAL_BATCH, seq_len=seq_len,
+            parallelism=0,
         )
-        tuner = MistTuner(MODEL, cluster, seq_len=seq_len,
-                          interference=interference)
-        tuned = tuner.tune(GLOBAL_BATCH)
-        if tuned.best_plan is None:
-            rows.append((cluster.name, seq_len, None, None))
-            continue
-        engine = ExecutionEngine(cluster, system="mist")
-        result = engine.run(tuned.best_plan, MODEL, seq_len=seq_len)
-        rows.append((cluster.name, seq_len, result, tuned.best_plan))
+        rows.append((gpu, num_gpus, seq_len, solve(job, cache=cache)))
 
-    for name, seq_len, result, plan in rows:
-        if result is None:
+    for gpu, num_gpus, seq_len, report in rows:
+        name = f"{gpu} x {num_gpus}"
+        if not report.measured:
             print(f"{name:18s} seq={seq_len}: no feasible plan")
             continue
+        plan = report.plan
         stage0 = plan.stages[0]
-        print(f"{name:18s} seq={seq_len}: {result.throughput:6.2f} samples/s"
+        print(f"{name:18s} seq={seq_len}: {report.throughput:6.2f} samples/s"
               f"  S={plan.num_stages} G={plan.gacc}  "
               f"stage0[{stage0.describe()}]")
 

@@ -80,7 +80,7 @@ def main() -> None:
     for label, space in PANELS.items():
         tuner = MistTuner(MODEL, CLUSTER, seq_len=SEQ_LEN, space=space,
                           interference=interference)
-        tuned = tuner.tune(GLOBAL_BATCH)
+        tuned = tuner.search(GLOBAL_BATCH)
         if tuned.best_plan is None:
             print(f"{label:30s}: no feasible plan")
             continue

@@ -1,51 +1,51 @@
 #!/usr/bin/env python3
-"""Quickstart: auto-tune distributed training for a GPT-3 model.
+"""Quickstart: auto-tune distributed training through the solver API.
 
-Tunes GPT-3 2.7B on a simulated node of 4 NVIDIA L4 GPUs, executes the
-winning plan on the simulated cluster, and compares against the best
-grid-searched Megatron-LM configuration.
+Declares one tuning job — GPT-3 2.7B on a simulated node of 4 NVIDIA
+L4 GPUs — solves it with Mist (the (S, G) search fanned across cores),
+and compares against the best grid-searched Megatron-LM configuration
+through the same registry.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import MistTuner, get_model, make_cluster
-from repro.baselines import MegatronTuner
-from repro.evaluation import calibrated_interference
-from repro.execution import ExecutionEngine, render_timeline
+from repro.api import TuningJob, solve
+from repro.execution import render_timeline
 
-SEQ_LEN = 2048
-GLOBAL_BATCH = 64
+JOB = TuningJob(
+    model="gpt3-2.7b",
+    gpu="L4",
+    num_gpus=4,
+    global_batch=64,
+    seq_len=2048,
+    scale="quick",
+    parallelism=0,  # one worker per CPU core for the (S, G) search
+)
 
 
 def main() -> None:
-    model = get_model("gpt3-2.7b")
-    cluster = make_cluster("L4", num_nodes=1, gpus_per_node=4)
-    print(f"model:   {model}")
-    print(f"cluster: {cluster.name}\n")
+    print(f"job: {JOB.to_json()}\n")
 
     # 1. Auto-tune with Mist (memory + parallelism co-optimization).
-    interference = calibrated_interference(pcie_only=True)
-    tuner = MistTuner(model, cluster, seq_len=SEQ_LEN,
-                      interference=interference)
-    tuning = tuner.tune(GLOBAL_BATCH)
-    print(f"Mist tuned {tuning.configurations_evaluated} configurations "
-          f"in {tuning.tuning_time_seconds:.1f}s")
-    print(tuning.best_plan.describe(), "\n")
+    report = solve(JOB, solver="mist")
+    print(f"Mist tuned {report.configurations_evaluated} configurations "
+          f"in {report.tuning_time_seconds:.1f}s")
+    print(report.plan.describe(), "\n")
 
-    # 2. Execute one training iteration on the simulated cluster.
-    engine = ExecutionEngine(cluster, system="mist")
-    result = engine.run(tuning.best_plan, model, seq_len=SEQ_LEN)
-    print(result.describe())
-    print()
-    print(render_timeline(result.pipeline, width=80))
+    # 2. The report carries both prediction and simulated measurement —
+    #    and serializes: SolveReport.from_json(report.to_json()) is the
+    #    same report, so plans can be cached or shipped between runs.
+    print(f"predicted: {report.predicted['throughput']:.2f} samples/s, "
+          f"measured: {report.throughput:.2f} samples/s")
+    print(render_timeline(report.result.pipeline, width=80))
     print()
 
-    # 3. Compare with the best manually grid-searched Megatron-LM config.
-    megatron = MegatronTuner(model, cluster, seq_len=SEQ_LEN)
-    baseline = megatron.tune(GLOBAL_BATCH)
+    # 3. Compare with the best grid-searched Megatron-LM configuration
+    #    via the same solver registry.
+    baseline = solve(JOB, solver="megatron")
     print(f"Megatron-LM best: {baseline.throughput:.2f} samples/s")
-    print(f"Mist:             {result.throughput:.2f} samples/s "
-          f"({result.throughput / baseline.throughput:.2f}x)")
+    print(f"Mist:             {report.throughput:.2f} samples/s "
+          f"({report.throughput / baseline.throughput:.2f}x)")
 
 
 if __name__ == "__main__":

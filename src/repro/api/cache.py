@@ -1,0 +1,68 @@
+"""On-disk plan cache keyed by job fingerprint.
+
+Tuning is deterministic for a given :class:`~repro.api.job.TuningJob`,
+so a solved report can be reused by any later process that submits an
+equivalent job (``parallelism`` differences excluded — they change
+speed, not the answer). Entries are one JSON file per
+``(solver, job.fingerprint())`` pair under a root directory taken from,
+in order: the constructor argument, ``$REPRO_PLAN_CACHE``, or
+``~/.cache/repro/plans``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from .job import TuningJob
+from .report import SolveReport
+
+__all__ = ["PlanCache", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_PLAN_CACHE")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "plans"
+
+
+class PlanCache:
+    """Filesystem-backed store of solved reports."""
+
+    def __init__(self, root: "str | Path | None" = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, job: TuningJob, solver: str) -> Path:
+        return self.root / f"{solver}-{job.fingerprint()}.json"
+
+    def load(self, job: TuningJob, solver: str) -> SolveReport | None:
+        """The cached report, or ``None`` on miss/corruption."""
+        path = self.path_for(job, solver)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            report = SolveReport.from_json(text)
+        except (ValueError, KeyError, TypeError):
+            return None
+        report.from_cache = True
+        return report
+
+    def store(self, report: SolveReport) -> Path:
+        path = self.path_for(report.job, report.solver)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(report.to_json())
+        tmp.replace(path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

@@ -1,0 +1,85 @@
+"""Solver registry: one stable protocol every tuning backend plugs into.
+
+A *solver* consumes a declarative :class:`~repro.api.job.TuningJob` and
+returns a :class:`~repro.api.report.SolveReport`. Backends register
+under a short name::
+
+    @register_solver("my-system")
+    class MySolver:
+        \"\"\"One-line description shown by ``repro solvers``.\"\"\"
+
+        def solve(self, job: TuningJob) -> SolveReport:
+            ...
+
+and become reachable from the CLI (``repro tune --solver my-system``,
+``--compare my-system``), sweeps, and the evaluation runner without any
+call-site changes — adding a new scenario is a registry entry, not a
+code fork.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from .job import TuningJob
+from .report import SolveReport
+
+__all__ = [
+    "Solver",
+    "SolverNotFoundError",
+    "register_solver",
+    "get_solver",
+    "solver_names",
+    "solver_registry",
+]
+
+_REGISTRY: dict[str, type] = {}
+
+
+class SolverNotFoundError(KeyError):
+    """No solver registered under the requested name."""
+
+    def __init__(self, name: str):
+        super().__init__(
+            f"unknown solver {name!r}; registered: {solver_names()}"
+        )
+        self.name = name
+
+
+@runtime_checkable
+class Solver(Protocol):
+    """What a registered backend must implement."""
+
+    def solve(self, job: TuningJob) -> SolveReport:  # pragma: no cover
+        ...
+
+
+def register_solver(name: str, *, overwrite: bool = False):
+    """Class decorator: expose a solver class under ``name``."""
+
+    def decorate(cls: type) -> type:
+        if not overwrite and name in _REGISTRY and _REGISTRY[name] is not cls:
+            raise ValueError(f"solver {name!r} already registered")
+        cls.solver_name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def get_solver(name: str) -> Solver:
+    """Instantiate the solver registered under ``name``."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise SolverNotFoundError(name) from None
+    return cls()
+
+
+def solver_names() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def solver_registry() -> dict[str, type]:
+    """A snapshot of the registry (name -> solver class)."""
+    return dict(_REGISTRY)

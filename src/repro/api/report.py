@@ -1,0 +1,132 @@
+"""Unified solver output — the result half of the solver API.
+
+Every registered solver returns a :class:`SolveReport`: the winning
+:class:`~repro.core.plan.TrainingPlan`, the solver's *predicted* metrics
+(when it has a performance model), the *measured* metrics from executing
+the plan on the simulated cluster, and the search log. Reports are JSON
+round-trippable — ``SolveReport.from_json(r.to_json()).to_json()`` is
+byte-identical to ``r.to_json()`` — so sweep results and cached plans
+survive on disk across processes.
+
+The live :class:`~repro.execution.engine.IterationResult` (pipeline
+timeline, per-stage memory traces) is kept on the runtime-only
+``result`` attribute and is *not* serialized.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.plan import TrainingPlan
+
+from .job import TuningJob
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.execution import IterationResult
+
+__all__ = ["SolveReport"]
+
+
+@dataclass
+class SolveReport:
+    """One solver's outcome on one :class:`~repro.api.job.TuningJob`."""
+
+    solver: str
+    job: TuningJob
+    plan: TrainingPlan | None = None
+    #: model-predicted metrics (empty for measure-only grid searches):
+    #: ``iteration_time`` (s), ``throughput`` (samples/s)
+    predicted: dict = field(default_factory=dict)
+    #: metrics measured by executing ``plan`` on the simulated cluster:
+    #: ``iteration_time``, ``throughput``, ``peak_memory`` (bytes)
+    measured: dict = field(default_factory=dict)
+    tuning_time_seconds: float = 0.0
+    configurations_evaluated: int = 0
+    #: per-candidate diagnostics, solver-specific entries
+    search_log: list = field(default_factory=list)
+    #: runner-executed candidate plans, best predicted first
+    top_plans: list = field(default_factory=list)
+    #: free-form solver extras (must stay JSON-serializable)
+    extra: dict = field(default_factory=dict)
+    #: live execution result — runtime-only, never serialized
+    result: "IterationResult | None" = field(
+        default=None, compare=False, repr=False)
+    #: True when this report was loaded from a plan cache — runtime-only
+    from_cache: bool = field(default=False, compare=False, repr=False)
+
+    @property
+    def found(self) -> bool:
+        return self.plan is not None
+
+    @property
+    def throughput(self) -> float:
+        """Measured samples/second (0.0 when nothing executed)."""
+        return float(self.measured.get("throughput", 0.0))
+
+    def describe(self) -> str:
+        lines = [f"[{self.solver}] job {self.job.fingerprint()}"]
+        if self.plan is None:
+            lines.append("  no feasible plan found")
+            return "\n".join(lines)
+        lines.append("  " + self.plan.describe().replace("\n", "\n  "))
+        if self.predicted:
+            lines.append(
+                f"  predicted: {self.predicted.get('iteration_time', 0.0) * 1e3:.1f} ms"
+                f" / {self.predicted.get('throughput', 0.0):.2f} samples/s"
+            )
+        if self.measured:
+            lines.append(
+                f"  measured:  {self.measured.get('iteration_time', 0.0) * 1e3:.1f} ms"
+                f" / {self.measured.get('throughput', 0.0):.2f} samples/s"
+            )
+        lines.append(
+            f"  evaluated {self.configurations_evaluated} configurations "
+            f"in {self.tuning_time_seconds:.1f}s"
+        )
+        return "\n".join(lines)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "solver": self.solver,
+            "job": self.job.to_dict(),
+            "plan": self.plan.to_dict() if self.plan else None,
+            "predicted": self.predicted,
+            "measured": self.measured,
+            "tuning_time_seconds": self.tuning_time_seconds,
+            "configurations_evaluated": self.configurations_evaluated,
+            "search_log": self.search_log,
+            "top_plans": [plan.to_dict() for plan in self.top_plans],
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SolveReport":
+        return cls(
+            solver=data["solver"],
+            job=TuningJob.from_dict(data["job"]),
+            plan=(TrainingPlan.from_dict(data["plan"])
+                  if data.get("plan") else None),
+            predicted=dict(data.get("predicted", {})),
+            measured=dict(data.get("measured", {})),
+            tuning_time_seconds=float(data.get("tuning_time_seconds", 0.0)),
+            configurations_evaluated=int(
+                data.get("configurations_evaluated", 0)),
+            search_log=list(data.get("search_log", [])),
+            top_plans=[TrainingPlan.from_dict(p)
+                       for p in data.get("top_plans", [])],
+            extra=dict(data.get("extra", {})),
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        # allow_nan=False: reports must parse under *strict* JSON (jq,
+        # JSON.parse), so a stray inf/nan is a bug here, not output
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent,
+                          allow_nan=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SolveReport":
+        return cls.from_dict(json.loads(text))

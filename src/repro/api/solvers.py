@@ -1,0 +1,197 @@
+"""Built-in solvers: Mist plus the paper's comparison systems.
+
+Every backend the paper evaluates (Figs. 11–16) is a registry entry
+here, all speaking the same ``solve(job) -> SolveReport`` protocol:
+
+* ``mist``      — the hierarchical memory-parallelism co-optimizing
+  tuner (predict, then execute the top plans to de-bias the winner's
+  curse);
+* ``megatron`` / ``deepspeed`` — execute-and-measure grid searches over
+  each manual system's configuration space (Section 6.1);
+* ``aceso``     — iterative bottleneck alleviation with an
+  overlap-unaware predictor;
+* ``uniform``   — the uniform-strategy heuristic (Yuan et al., §3.3).
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    AcesoTuner,
+    BaselineResult,
+    DeepSpeedTuner,
+    MegatronTuner,
+    UniformHeuristicTuner,
+)
+from repro.core import MistTuner
+from repro.evaluation.runner import calibrated_interference
+from repro.execution import ExecutionEngine, IterationResult, OOMError
+
+from .cache import PlanCache
+from .job import TuningJob
+from .registry import get_solver, register_solver
+from .report import SolveReport
+
+__all__ = [
+    "MistSolver",
+    "MegatronSolver",
+    "DeepSpeedSolver",
+    "AcesoSolver",
+    "UniformSolver",
+    "solve",
+]
+
+
+def _measured(result: IterationResult | None) -> dict:
+    if result is None:
+        return {}
+    return {
+        "iteration_time": float(result.iteration_time),
+        "throughput": float(result.throughput),
+        "peak_memory": float(result.peak_memory),
+    }
+
+
+def _job_interference(job: TuningJob):
+    if job.interference == "none":
+        return None
+    cluster = job.workload.cluster
+    return calibrated_interference(not cluster.gpu.has_nvlink)
+
+
+@register_solver("mist")
+class MistSolver:
+    """Mist: hierarchical memory-parallelism co-optimization (§5)."""
+
+    def solve(self, job: TuningJob) -> SolveReport:
+        spec = job.workload
+        scale = job.resolved_scale()
+        space = scale.apply(job.resolved_space())
+        tuner = MistTuner(
+            spec.model, spec.cluster, seq_len=spec.seq_len,
+            flash=spec.flash, space=space,
+            interference=_job_interference(job),
+            max_pareto_points=scale.max_pareto_points,
+            max_gacc_candidates=scale.max_gacc_candidates,
+        )
+        tuning = tuner.search(job.global_batch,
+                              parallelism=job.parallelism,
+                              keep_top=job.keep_top)
+        # Execute the top predicted plans and keep the best measured one
+        # (the artifact's benchmark-one-case step, which absorbs the
+        # winner's-curse bias of the argmin over noisy predictions).
+        engine = ExecutionEngine(spec.cluster, system="mist")
+        result = None
+        best_plan = None
+        for plan in tuning.top_plans or (
+                [tuning.best_plan] if tuning.best_plan else []):
+            try:
+                candidate = engine.run(plan, spec.model,
+                                       seq_len=spec.seq_len,
+                                       flash=spec.flash)
+            except OOMError:
+                continue
+            if result is None or candidate.throughput > result.throughput:
+                result = candidate
+                best_plan = plan
+        predicted = {}
+        if tuning.found:
+            predicted = {
+                "iteration_time": float(tuning.predicted_iteration_time),
+                "throughput": float(tuning.predicted_throughput),
+            }
+        return SolveReport(
+            solver=self.solver_name,
+            job=job,
+            plan=best_plan if best_plan is not None else tuning.best_plan,
+            predicted=predicted,
+            measured=_measured(result),
+            tuning_time_seconds=tuning.tuning_time_seconds,
+            configurations_evaluated=tuning.configurations_evaluated,
+            search_log=tuning.search_log,
+            top_plans=list(tuning.top_plans),
+            extra={"space": space.name, "scale": scale.name},
+            result=result,
+        )
+
+
+class _BaselineSolver:
+    """Shared adapter: wrap a baseline tuner class into the protocol."""
+
+    tuner_cls: type = None
+
+    def make_tuner(self, job: TuningJob):
+        spec = job.workload
+        return self.tuner_cls(spec.model, spec.cluster,
+                              seq_len=spec.seq_len, flash=spec.flash)
+
+    def solve(self, job: TuningJob) -> SolveReport:
+        tuner = self.make_tuner(job)
+        outcome: BaselineResult = tuner.tune(job.global_batch)
+        return SolveReport(
+            solver=self.solver_name,
+            job=job,
+            plan=outcome.best_plan,
+            measured=_measured(outcome.best_result),
+            tuning_time_seconds=outcome.tuning_time_seconds,
+            configurations_evaluated=outcome.candidates_tried,
+            extra={
+                "candidates_tried": outcome.candidates_tried,
+                "candidates_oom": outcome.candidates_oom,
+            },
+            result=outcome.best_result,
+        )
+
+
+@register_solver("megatron")
+class MegatronSolver(_BaselineSolver):
+    """Megatron-LM: measured grid search over 3D parallelism."""
+
+    tuner_cls = MegatronTuner
+
+
+@register_solver("deepspeed")
+class DeepSpeedSolver(_BaselineSolver):
+    """DeepSpeed: measured grid search with ZeRO + coarse offloading."""
+
+    tuner_cls = DeepSpeedTuner
+
+
+@register_solver("aceso")
+class AcesoSolver(_BaselineSolver):
+    """Aceso: iterative bottleneck alleviation, overlap-unaware."""
+
+    tuner_cls = AcesoTuner
+
+
+@register_solver("uniform")
+class UniformSolver(_BaselineSolver):
+    """Uniform-strategy heuristic: one shared config for all stages."""
+
+    tuner_cls = UniformHeuristicTuner
+
+    def make_tuner(self, job: TuningJob):
+        spec = job.workload
+        space = job.resolved_scale().apply(job.resolved_space())
+        return self.tuner_cls(
+            spec.model, spec.cluster, seq_len=spec.seq_len,
+            flash=spec.flash, space=space,
+            interference=_job_interference(job),
+        )
+
+
+def solve(job: TuningJob, solver: str = "mist", *,
+          cache: PlanCache | None = None) -> SolveReport:
+    """Solve ``job`` with the named registered solver.
+
+    With a ``cache``, a previously solved equivalent job is returned
+    straight from disk (``report.from_cache`` is set) and fresh results
+    are stored for the next caller.
+    """
+    if cache is not None:
+        hit = cache.load(job, solver)
+        if hit is not None:
+            return hit
+    report = get_solver(solver).solve(job)
+    if cache is not None:
+        cache.store(report)
+    return report

@@ -1,9 +1,13 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
 Commands:
 
-* ``tune``     — auto-tune a model on a cluster, print the plan and the
-  measured throughput; optionally compare against baseline systems.
+* ``tune``     — solve one workload through the solver registry, print
+  the plan and measured throughput; ``--compare`` runs any other
+  registered solvers on the same job.
+* ``sweep``    — run several solvers across a grid of model sizes and
+  print the normalized-throughput table (Figs. 11/12 style).
+* ``solvers``  — list the registered solver backends.
 * ``models``   — list available model configurations.
 * ``analyze``  — predict time/memory for an explicit configuration.
 
@@ -11,6 +15,7 @@ Examples::
 
     python -m repro tune --model gpt3-6.7b --gpu L4 --gpus 8 \
         --global-batch 128 --seq-len 2048 --compare megatron deepspeed
+    python -m repro sweep --gpu L4 --sizes 1.3b 2.7b --solvers mist megatron
     python -m repro analyze --model gpt3-2.7b --gpu L4 --gpus 4 \
         --global-batch 8 --seq-len 4096 --stages 2 --dp 2 --ckpt full
 """
@@ -18,12 +23,22 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 
-from repro.core import MistTuner, SPACE_MIST
+from repro.api import (
+    JobValidationError,
+    PlanCache,
+    SolverNotFoundError,
+    TuningJob,
+    solve,
+    solver_registry,
+)
 from repro.core.plan import uniform_plan
-from repro.evaluation import calibrated_interference, run_baseline
-from repro.evaluation.workloads import GPUS_PER_NODE, SCALES, WorkloadSpec
+from repro.core.spaces import NAMED_SPACES
+from repro.evaluation.reporting import format_throughput_rows
+from repro.evaluation.workloads import SCALES, WorkloadSpec, paper_workloads
 from repro.execution import ExecutionEngine, OOMError, render_timeline
 from repro.models import get_model, list_models
 
@@ -43,12 +58,39 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
                         help="disable FlashAttention")
 
 
-def _workload(args) -> WorkloadSpec:
-    return WorkloadSpec(
-        model_spec=args.model, gpu_name=args.gpu, num_gpus=args.gpus,
+def _add_solver_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", choices=sorted(SCALES), default="quick",
+                        help="search-grid resolution preset")
+    parser.add_argument("--space", choices=sorted(NAMED_SPACES),
+                        default="mist", help="search space for auto-tuners")
+    parser.add_argument("--parallelism", type=int, default=1,
+                        help="worker threads for the (S, G) search "
+                             "(0 = one per core)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="reuse/store solved plans in this directory")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="write the solve report(s) as JSON")
+
+
+def _job(args) -> TuningJob:
+    return TuningJob(
+        model=args.model, gpu=args.gpu, num_gpus=args.gpus,
         global_batch=args.global_batch, seq_len=args.seq_len,
-        flash=not args.no_flash,
+        flash=not args.no_flash, space=args.space, scale=args.scale,
+        parallelism=args.parallelism,
     )
+
+
+def _cache(args) -> PlanCache | None:
+    return PlanCache(args.cache_dir) if args.cache_dir else None
+
+
+def _write_json(path: str, reports: list) -> None:
+    payload = [report.to_dict() for report in reports]
+    with open(path, "w") as fh:
+        json.dump(payload[0] if len(payload) == 1 else payload, fh,
+                  sort_keys=True, indent=2)
+    print(f"wrote {path}")
 
 
 def _cmd_models(_args) -> int:
@@ -59,60 +101,137 @@ def _cmd_models(_args) -> int:
     return 0
 
 
-def _cmd_tune(args) -> int:
-    spec = _workload(args)
-    model = spec.model
-    cluster = spec.cluster
-    scale = SCALES[args.scale]
-    print(f"tuning {model} on {cluster.name}, B={spec.global_batch}, "
-          f"seq={spec.seq_len}, scale={args.scale}")
-    tuner = MistTuner(
-        model, cluster, seq_len=spec.seq_len, flash=spec.flash,
-        space=scale.apply(SPACE_MIST),
-        interference=calibrated_interference(not cluster.gpu.has_nvlink),
-        max_pareto_points=scale.max_pareto_points,
-        max_gacc_candidates=scale.max_gacc_candidates,
-    )
-    tuning = tuner.tune(spec.global_batch, verbose=args.verbose)
-    if tuning.best_plan is None:
-        print("no feasible plan found")
-        return 1
-    print(f"\nevaluated {tuning.configurations_evaluated} configurations "
-          f"in {tuning.tuning_time_seconds:.1f}s")
-    print(tuning.best_plan.describe())
+def _cmd_solvers(_args) -> int:
+    for name, cls in sorted(solver_registry().items()):
+        doc = (cls.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{name:12s} {summary}")
+    return 0
 
-    engine = ExecutionEngine(cluster, system="mist")
+
+def _cmd_tune(args) -> int:
     try:
-        result = engine.run(tuning.best_plan, model, seq_len=spec.seq_len,
-                            flash=spec.flash)
-    except OOMError as exc:
-        print(f"tuned plan OOMs at execution: {exc}")
-        return 1
-    print(f"\n{result.describe()}")
+        job = _job(args)
+    except JobValidationError as exc:
+        print(f"invalid job: {exc}")
+        return 2
+    cache = _cache(args)
+    print(f"tuning {job.model} on {job.gpu} x {job.num_gpus}, "
+          f"B={job.global_batch}, seq={job.seq_len}, scale={args.scale}, "
+          f"solver={args.solver}")
+    try:
+        report = solve(job, args.solver, cache=cache)
+    except SolverNotFoundError as exc:
+        print(exc.args[0])
+        return 2
+    # infeasible/OOM reports serialize fine — always honor --json once
+    # the primary solve has produced a report
+    reports = [report]
+
+    def _finish(code: int) -> int:
+        if args.json:
+            _write_json(args.json, reports)
+        return code
+
+    if report.plan is None:
+        print("no feasible plan found")
+        return _finish(1)
+    origin = " (cached)" if report.from_cache else ""
+    print(f"\nevaluated {report.configurations_evaluated} configurations "
+          f"in {report.tuning_time_seconds:.1f}s{origin}")
+    print(report.plan.describe())
+    if not report.measured:
+        print("tuned plan OOMs at execution")
+        return _finish(1)
+    print(f"\nmeasured: {report.measured['iteration_time'] * 1e3:.1f} ms "
+          f"/ {report.throughput:.2f} samples/s")
     if args.timeline:
-        print()
-        print(render_timeline(result.pipeline, width=100))
+        if report.result is not None:
+            print()
+            print(render_timeline(report.result.pipeline, width=100))
+        else:
+            print("(timeline unavailable for cached reports)")
 
     for system in args.compare or ():
-        outcome = run_baseline(spec, system)
-        if outcome.found:
-            ratio = result.throughput / outcome.throughput
+        try:
+            outcome = solve(job, system, cache=cache)
+        except SolverNotFoundError as exc:
+            print(f"\n{exc.args[0]}")
+            return _finish(2)
+        reports.append(outcome)
+        if outcome.found and outcome.throughput > 0:
+            ratio = report.throughput / outcome.throughput
             print(f"\n{system}: {outcome.throughput:.2f} samples/s "
-                  f"(Mist is {ratio:.2f}x)")
+                  f"({args.solver} is {ratio:.2f}x)")
         else:
             print(f"\n{system}: no feasible configuration")
+    return _finish(0)
+
+
+def _cmd_sweep(args) -> int:
+    flash = not args.no_flash
+    reference = args.reference or args.solvers[0]
+    if reference not in args.solvers:
+        print(f"--reference {reference!r} is not among the requested "
+              f"solvers {args.solvers}")
+        return 2
+    try:
+        workloads = paper_workloads(args.gpu, family=args.family,
+                                    sizes=tuple(args.sizes), flash=flash)
+    except KeyError as exc:
+        print(f"unknown size: {exc}")
+        return 2
+    if args.seq_len:
+        workloads = [dataclasses.replace(w, seq_len=args.seq_len)
+                     for w in workloads]
+    if args.global_batch:
+        workloads = [dataclasses.replace(w, global_batch=args.global_batch)
+                     for w in workloads]
+    cache = _cache(args)
+    reports = []
+    results: dict[str, dict[str, float]] = {}
+    for spec in workloads:
+        row: dict[str, float] = {}
+        for solver in args.solvers:
+            try:
+                job = TuningJob.from_workload(
+                    spec, space=args.space, scale=args.scale,
+                    parallelism=args.parallelism,
+                )
+                report = solve(job, solver, cache=cache)
+            except (JobValidationError, SolverNotFoundError) as exc:
+                print(exc.args[0])
+                return 2
+            origin = " (cached)" if report.from_cache else ""
+            print(f"{spec.name} / {solver}: "
+                  f"{report.throughput:.2f} samples/s "
+                  f"({report.tuning_time_seconds:.1f}s tuning{origin})")
+            row[solver] = report.throughput
+            reports.append(report)
+        results[spec.name] = row
+    print()
+    print(format_throughput_rows(
+        f"sweep on {args.gpu} ({args.family}, scale={args.scale})",
+        results, reference,
+    ))
+    if args.json:
+        _write_json(args.json, reports)
     return 0
 
 
 def _cmd_analyze(args) -> int:
-    spec = _workload(args)
+    spec = WorkloadSpec(
+        model_spec=args.model, gpu_name=args.gpu, num_gpus=args.gpus,
+        global_batch=args.global_batch, seq_len=args.seq_len,
+        flash=not args.no_flash,
+    )
     model = spec.model
     cluster = spec.cluster
-    gacc = args.gacc or max(1, spec.global_batch // (args.dp or 1))
+    gacc = args.gacc or max(1, args.global_batch // (args.dp or 1))
     ckpt_all = args.ckpt == "full"
     try:
         plan = uniform_plan(
-            model, cluster, global_batch=spec.global_batch, gacc=gacc,
+            model, cluster, global_batch=args.global_batch, gacc=gacc,
             num_stages=args.stages, dp=args.dp, tp=args.tp,
             zero=args.zero, ckpt_all=ckpt_all,
             oo=args.oo, ao=args.ao,
@@ -122,8 +241,8 @@ def _cmd_analyze(args) -> int:
         return 1
     engine = ExecutionEngine(cluster, system="mist")
     try:
-        result = engine.run(plan, model, seq_len=spec.seq_len,
-                            flash=spec.flash)
+        result = engine.run(plan, model, seq_len=args.seq_len,
+                            flash=not args.no_flash)
     except OOMError as exc:
         print(f"OOM: {exc}")
         return 1
@@ -145,16 +264,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_models = sub.add_parser("models", help="list model configurations")
     p_models.set_defaults(func=_cmd_models)
 
+    p_solvers = sub.add_parser("solvers",
+                               help="list registered solver backends")
+    p_solvers.set_defaults(func=_cmd_solvers)
+
     p_tune = sub.add_parser("tune", help="auto-tune a training plan")
     _add_workload_args(p_tune)
-    p_tune.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    _add_solver_args(p_tune)
+    p_tune.add_argument("--solver", default="mist",
+                        help="registered solver to tune with "
+                             "(see 'solvers')")
     p_tune.add_argument("--compare", nargs="*", metavar="SYSTEM",
-                        help="baselines to compare against "
-                             "(megatron, deepspeed, aceso)")
+                        help="other registered solvers to run on the "
+                             "same job")
     p_tune.add_argument("--timeline", action="store_true",
                         help="render the executed 1F1B timeline")
-    p_tune.add_argument("--verbose", action="store_true")
     p_tune.set_defaults(func=_cmd_tune)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run solvers across a grid of model sizes")
+    p_sweep.add_argument("--gpu", default="L4")
+    p_sweep.add_argument("--family", default="gpt3")
+    p_sweep.add_argument("--sizes", nargs="+",
+                         default=["1.3b", "2.7b", "6.7b", "13b", "22b"],
+                         help="model sizes (GPU count/batch follow the "
+                              "paper's Table 4 scaling rule)")
+    p_sweep.add_argument("--solvers", nargs="+",
+                         default=["megatron", "deepspeed", "mist"],
+                         metavar="SOLVER")
+    p_sweep.add_argument("--reference", default=None,
+                         help="normalization baseline "
+                              "(default: first solver)")
+    p_sweep.add_argument("--seq-len", type=int, default=None,
+                         help="override the per-GPU-type sequence length")
+    p_sweep.add_argument("--global-batch", type=int, default=None,
+                         help="override the per-size global batch")
+    p_sweep.add_argument("--no-flash", action="store_true")
+    _add_solver_args(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_an = sub.add_parser("analyze",
                           help="execute one explicit configuration")

@@ -7,6 +7,7 @@ each pipeline stage ``i``, the tuple
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, replace
 
 from repro.hardware import ClusterSpec
@@ -73,6 +74,24 @@ class StageConfig:
     @property
     def samples_per_microbatch(self) -> int:
         return self.dp * self.microbatch
+
+    def to_dict(self) -> dict:
+        return {
+            "layers": self.layers, "microbatch": self.microbatch,
+            "dp": self.dp, "tp": self.tp, "zero": self.zero,
+            "ckpt": self.ckpt, "wo": self.wo, "go": self.go,
+            "oo": self.oo, "ao": self.ao,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StageConfig":
+        return cls(
+            layers=int(data["layers"]), microbatch=int(data["microbatch"]),
+            dp=int(data["dp"]), tp=int(data["tp"]),
+            zero=int(data.get("zero", 0)), ckpt=int(data.get("ckpt", 0)),
+            wo=float(data.get("wo", 0.0)), go=float(data.get("go", 0.0)),
+            oo=float(data.get("oo", 0.0)), ao=float(data.get("ao", 0.0)),
+        )
 
     def describe(self) -> str:
         parts = [
@@ -156,6 +175,34 @@ class TrainingPlan:
 
     def with_source(self, source: str) -> "TrainingPlan":
         return replace(self, source=source)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "global_batch": self.global_batch,
+            "gacc": self.gacc,
+            "stages": [stage.to_dict() for stage in self.stages],
+            "source": self.source,
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrainingPlan":
+        return cls(
+            global_batch=int(data["global_batch"]),
+            gacc=int(data["gacc"]),
+            stages=tuple(StageConfig.from_dict(s) for s in data["stages"]),
+            source=data.get("source", "manual"),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TrainingPlan":
+        return cls.from_dict(json.loads(text))
 
     def describe(self) -> str:
         lines = [

@@ -32,7 +32,11 @@ __all__ = [
     "SPACE_WO",
     "SPACE_MIST",
     "INCREMENTAL_SPACES",
+    "NAMED_SPACES",
+    "get_space",
     "log10_configurations",
+    "space_from_dict",
+    "space_to_dict",
 ]
 
 #: default quantization grid for offloading ratios during tuning
@@ -100,6 +104,76 @@ SPACE_MIST_NO_IMBALANCE = SPACE_MIST.with_(
     name="Mist w/o Imbalance-Aware PP", imbalance_aware=False
 )
 __all__.append("SPACE_MIST_NO_IMBALANCE")
+
+#: slug -> predefined space; the stable identifiers :mod:`repro.api` jobs
+#: use to reference a search space in serialized form
+NAMED_SPACES: dict[str, SearchSpace] = {
+    "3d": SPACE_3D,
+    "3d-zero": SPACE_3D_ZERO,
+    "3d-ckpt": SPACE_3D_CKPT,
+    "oo": SPACE_OO,
+    "ao": SPACE_AO,
+    "go": SPACE_GO,
+    "wo": SPACE_WO,
+    "mist": SPACE_MIST,
+    "mist-no-imbalance": SPACE_MIST_NO_IMBALANCE,
+}
+
+#: dataclass fields that are float grids (tuples in Python, lists in JSON)
+_GRID_FIELDS = ("oo_grid", "ao_grid", "go_grid", "wo_grid")
+
+
+def get_space(name: str) -> SearchSpace:
+    """Look up a predefined space by slug (or its display name)."""
+    key = name.lower()
+    if key in NAMED_SPACES:
+        return NAMED_SPACES[key]
+    for space in NAMED_SPACES.values():
+        if space.name.lower() == key:
+            return space
+    raise KeyError(
+        f"unknown search space {name!r}; options: {sorted(NAMED_SPACES)}"
+    )
+
+
+def space_to_dict(space: SearchSpace) -> dict:
+    """JSON-ready dict for an arbitrary (possibly customized) space."""
+    return {
+        "name": space.name,
+        "zero_levels": [int(z) for z in space.zero_levels],
+        "tune_ckpt": space.tune_ckpt,
+        "ckpt_policy": space.ckpt_policy,
+        "ckpt_grid_points": space.ckpt_grid_points,
+        **{f: [float(v) for v in getattr(space, f)] for f in _GRID_FIELDS},
+        "imbalance_aware": space.imbalance_aware,
+        "layer_slack": space.layer_slack,
+    }
+
+
+def space_from_dict(data: dict) -> SearchSpace:
+    """Inverse of :func:`space_to_dict` (lists become tuples again)."""
+    return SearchSpace(
+        name=data["name"],
+        zero_levels=tuple(int(z) for z in data.get("zero_levels", (0,))),
+        tune_ckpt=bool(data.get("tune_ckpt", False)),
+        ckpt_policy=data.get("ckpt_policy", "auto"),
+        ckpt_grid_points=int(data.get("ckpt_grid_points", 9)),
+        **{f: tuple(float(v) for v in data.get(f, (0.0,)))
+           for f in _GRID_FIELDS},
+        imbalance_aware=bool(data.get("imbalance_aware", True)),
+        layer_slack=int(data.get("layer_slack", 2)),
+    )
+
+
+def space_ref(space: SearchSpace) -> "str | dict":
+    """Serializable reference: a slug when predefined, else a full dict."""
+    for slug, named in NAMED_SPACES.items():
+        if named == space:
+            return slug
+    return space_to_dict(space)
+
+
+__all__.append("space_ref")
 
 #: "continuous" ratio resolution assumed when counting configurations
 _CONTINUOUS_POINTS = 100

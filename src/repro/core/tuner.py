@@ -11,14 +11,19 @@ discrete choices — pipeline depth ``S`` and gradient-accumulation steps
    MILP (Eq. 2) into the best pipeline partition.
 
 The winner across all ``(S, G)`` becomes the output
-:class:`~repro.core.plan.TrainingPlan`. Searching different ``G`` values
-is embarrassingly parallel (the paper parallelizes it across cores);
-here it is a simple loop, timed for the Fig. 16 tuning-time experiment.
+:class:`~repro.core.plan.TrainingPlan`. Searching the ``(S, G)`` grid is
+embarrassingly parallel (the paper parallelizes it across cores, §5.3 /
+Fig. 16): :meth:`MistTuner.search` fans the per-``(S, G)`` solves over a
+thread pool when ``parallelism > 1``, and merges results in enumeration
+order so the chosen plan is identical to the serial path.
 """
 
 from __future__ import annotations
 
+import os
 import time
+import warnings
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -123,42 +128,68 @@ class MistTuner:
 
     # -- main loop ------------------------------------------------------------
 
-    def tune(self, global_batch: int, *, verbose: bool = False,
-             keep_top: int = 3) -> TuningResult:
-        start = time.perf_counter()
-        candidates: list[tuple[float, TrainingPlan]] = []
-        evaluated = 0
-        search_log: list[dict] = []
-
+    def _sg_grid(self, global_batch: int) -> list[tuple[int, int, int, list[int]]]:
+        """The outer (S, G) grid: (num_stages, stage_gpus, gacc, layers)."""
+        grid = []
         for num_stages in self._stage_counts():
             stage_gpus = self.cluster.total_gpus // num_stages
             layer_counts = self._layer_counts(num_stages)
             for gacc in self._gacc_candidates(global_batch, num_stages):
-                solution = self._tune_pipeline(
-                    global_batch, num_stages, stage_gpus, gacc, layer_counts
-                )
-                evaluated = self._total_evaluated(evaluated)
-                entry = {
-                    "num_stages": num_stages,
-                    "gacc": gacc,
-                    "objective": solution.objective if solution else np.inf,
-                }
-                search_log.append(entry)
-                if verbose:  # pragma: no cover - console aid
-                    obj = entry["objective"]
-                    print(f"  S={num_stages} G={gacc}: "
-                          f"{obj * 1e3 if np.isfinite(obj) else obj:.1f} ms")
-                if solution:
-                    candidates.append((
-                        solution.objective,
-                        TrainingPlan(
-                            global_batch=global_batch,
-                            gacc=gacc,
-                            stages=tuple(p.config
-                                         for p in solution.choices),
-                            source=f"mist[{self.space.name}]",
-                        ),
-                    ))
+                grid.append((num_stages, stage_gpus, gacc, layer_counts))
+        return grid
+
+    def search(self, global_batch: int, *, parallelism: int = 1,
+               verbose: bool = False, keep_top: int = 3) -> TuningResult:
+        """Solve every (S, G) candidate and return the ranked outcome.
+
+        ``parallelism > 1`` fans the independent per-(S, G) solves over
+        that many worker threads (``0`` means one per CPU core); results
+        are merged in enumeration order, so the returned plans are
+        identical regardless of worker count.
+        """
+        start = time.perf_counter()
+        grid = self._sg_grid(global_batch)
+        workers = parallelism if parallelism > 0 else (os.cpu_count() or 1)
+        if workers > 1 and len(grid) > 1:
+            with ThreadPoolExecutor(
+                    max_workers=min(workers, len(grid))) as pool:
+                solutions = list(pool.map(
+                    lambda task: self._tune_pipeline(global_batch, *task),
+                    grid,
+                ))
+        else:
+            solutions = [self._tune_pipeline(global_batch, *task)
+                         for task in grid]
+
+        candidates: list[tuple[float, TrainingPlan]] = []
+        evaluated = 0
+        search_log: list[dict] = []
+        for (num_stages, _, gacc, _), (solution, n_evaluated) in zip(
+                grid, solutions):
+            evaluated += n_evaluated
+            # infeasible cells log None, not inf — search logs must stay
+            # strictly JSON-serializable (SolveReport round-trip contract)
+            entry = {
+                "num_stages": num_stages,
+                "gacc": gacc,
+                "objective": float(solution.objective) if solution else None,
+            }
+            search_log.append(entry)
+            if verbose:  # pragma: no cover - console aid
+                obj = entry["objective"]
+                print(f"  S={num_stages} G={gacc}: "
+                      + (f"{obj * 1e3:.1f} ms" if obj is not None
+                         else "infeasible"))
+            if solution:
+                candidates.append((
+                    solution.objective,
+                    TrainingPlan(
+                        global_batch=global_batch,
+                        gacc=gacc,
+                        stages=tuple(p.config for p in solution.choices),
+                        source=f"mist[{self.space.name}]",
+                    ),
+                ))
 
         candidates.sort(key=lambda item: item[0])
         best_objective = candidates[0][0] if candidates else np.inf
@@ -177,25 +208,42 @@ class MistTuner:
             top_plans=[plan for _, plan in candidates[:keep_top]],
         )
 
+    def tune(self, global_batch: int, *, verbose: bool = False,
+             keep_top: int = 3) -> TuningResult:
+        """Deprecated alias for :meth:`search` (serial path)."""
+        warnings.warn(
+            "MistTuner.tune() is deprecated; use MistTuner.search() or the "
+            "repro.api solver registry (repro.api.solve).",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.search(global_batch, verbose=verbose, keep_top=keep_top)
+
     # -- per-(S, G) solve ---------------------------------------------------------
 
     def _tune_pipeline(self, global_batch: int, num_stages: int,
                        stage_gpus: int, gacc: int,
                        layer_counts: list[int]):
+        """Solve one (S, G) candidate.
+
+        Returns ``(solution, evaluated)`` where ``evaluated`` is the
+        number of configurations the intra-stage tuner scored — each
+        call owns a fresh :class:`IntraStageTuner`, so the method is
+        safe to run concurrently across (S, G) candidates.
+        """
         intra = IntraStageTuner(
             self.analyzer, self.space, global_batch=global_batch,
             seq_len=self.seq_len, max_pareto_points=self.max_pareto_points,
         )
-        self._last_intra = intra
 
         if num_stages == 1:
             shape = StageShape(stage_gpus=stage_gpus, gacc=gacc, inflight=1,
                                has_pre=True, has_post=True)
             menus = [intra.tune(shape, [self.model.num_layers])]
-            return inter_stage.solve(
+            solution = inter_stage.solve(
                 menus, self.model.num_layers, gacc,
                 imbalance_aware=self.space.imbalance_aware,
             )
+            return solution, intra.evaluated
 
         # Stage positions with identical (inflight, pre, post) share menus.
         menus = []
@@ -210,11 +258,8 @@ class MistTuner:
                 )
                 cache[key] = intra.tune(shape, layer_counts)
             menus.append(cache[key])
-        return inter_stage.solve(
+        solution = inter_stage.solve(
             menus, self.model.num_layers, gacc,
             imbalance_aware=self.space.imbalance_aware,
         )
-
-    def _total_evaluated(self, running: int) -> int:
-        intra = getattr(self, "_last_intra", None)
-        return running + (intra.evaluated if intra else 0)
+        return solution, intra.evaluated

@@ -15,8 +15,12 @@ from .workloads import (
     TuningScale,
     WorkloadSpec,
     current_scale,
+    get_scale,
     gpu_count_for_size,
     paper_workloads,
+    scale_from_dict,
+    scale_ref,
+    scale_to_dict,
 )
 
 __all__ = [
@@ -32,8 +36,12 @@ __all__ = [
     "format_series",
     "format_table",
     "format_throughput_rows",
+    "get_scale",
     "gpu_count_for_size",
     "paper_workloads",
     "run_baseline",
     "run_mist",
+    "scale_from_dict",
+    "scale_ref",
+    "scale_to_dict",
 ]

@@ -1,9 +1,15 @@
 """Evaluation runner: tune -> execute -> compare, per workload.
 
-Every system is measured the same way: its tuner picks a plan, the
+Every system is measured the same way: its solver picks a plan, the
 execution engine runs one iteration under that system's overlap
 capability, and throughput (samples/second) is reported — mirroring the
 paper's methodology where all numbers are measured on the same cluster.
+
+Since the :mod:`repro.api` redesign this module is a thin compatibility
+layer: workloads are turned into declarative
+:class:`~repro.api.job.TuningJob`\\ s and dispatched through the solver
+registry; the historical :class:`SystemOutcome` shape is preserved for
+existing benchmarks.
 
 Interference models are calibrated once per fabric type (PCIe vs
 NVLink) against the engine's contention ground truth and cached for the
@@ -12,7 +18,6 @@ process lifetime.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from functools import lru_cache
 
@@ -22,17 +27,12 @@ from repro.baselines import (
     MegatronTuner,
     UniformHeuristicTuner,
 )
-from repro.core import MistTuner, SPACE_MIST, SearchSpace, TrainingPlan
+from repro.core import SPACE_MIST, SearchSpace, TrainingPlan
+from repro.core.spaces import space_ref
 from repro.costmodel import InterferenceModel, fit_interference_model
-from repro.execution import (
-    ContentionSpec,
-    ExecutionEngine,
-    IterationResult,
-    OOMError,
-    make_oracle,
-)
+from repro.execution import ContentionSpec, IterationResult, make_oracle
 
-from .workloads import SCALES, TuningScale, WorkloadSpec, current_scale
+from .workloads import TuningScale, WorkloadSpec, current_scale, scale_ref
 
 __all__ = [
     "SystemOutcome",
@@ -43,12 +43,17 @@ __all__ = [
     "compare_systems",
 ]
 
+#: legacy system name -> tuner class (kept for backward compatibility;
+#: new code should consult the repro.api solver registry instead)
 BASELINE_TUNERS = {
     "megatron": MegatronTuner,
     "deepspeed": DeepSpeedTuner,
     "aceso": AcesoTuner,
     "uniform-heuristic": UniformHeuristicTuner,
 }
+
+#: legacy runner name -> registry solver name
+_SOLVER_ALIASES = {"uniform-heuristic": "uniform"}
 
 
 @lru_cache(maxsize=4)
@@ -95,79 +100,54 @@ class Comparison:
 
 def run_mist(spec: WorkloadSpec, *, space: SearchSpace = SPACE_MIST,
              scale: TuningScale | None = None,
-             imbalance_aware: bool | None = None) -> SystemOutcome:
+             imbalance_aware: bool | None = None,
+             parallelism: int = 1) -> SystemOutcome:
     """Tune with Mist and execute the winning plan on the Mist runtime."""
+    # Imported lazily: repro.api imports this module for
+    # calibrated_interference, so a top-level import would be circular.
+    from repro.api import TuningJob, get_solver
+
     scale = scale or current_scale()
-    tuned_space = scale.apply(space)
+    tuned_space = space
     if imbalance_aware is not None:
         tuned_space = tuned_space.with_(imbalance_aware=imbalance_aware)
-    cluster = spec.cluster
-    interference = calibrated_interference(not cluster.gpu.has_nvlink)
-    tuner = MistTuner(
-        spec.model, cluster, seq_len=spec.seq_len, flash=spec.flash,
-        space=tuned_space, interference=interference,
-        max_pareto_points=scale.max_pareto_points,
-        max_gacc_candidates=scale.max_gacc_candidates,
+    job = TuningJob.from_workload(
+        spec, space=space_ref(tuned_space), scale=scale_ref(scale),
+        parallelism=parallelism,
     )
-    tuning = tuner.tune(spec.global_batch)
-    # Execute the tuner's top predicted plans and keep the best measured
-    # one — the artifact's final benchmark-one-case step, which absorbs
-    # the winner's-curse bias of selecting the argmin of ~2%-noisy
-    # predictions.
-    result = None
-    best_plan = None
-    engine = ExecutionEngine(cluster, system="mist")
-    for plan in tuning.top_plans or (
-            [tuning.best_plan] if tuning.best_plan else []):
-        try:
-            candidate = engine.run(plan, spec.model, seq_len=spec.seq_len,
-                                   flash=spec.flash)
-        except OOMError:
-            continue
-        if result is None or candidate.throughput > result.throughput:
-            result = candidate
-            best_plan = plan
+    report = get_solver("mist").solve(job)
     return SystemOutcome(
-        system=f"mist[{tuned_space.name}]",
-        plan=best_plan if best_plan is not None else tuning.best_plan,
-        result=result,
-        tuning_time_seconds=tuning.tuning_time_seconds,
+        system=f"mist[{report.extra.get('space', tuned_space.name)}]",
+        plan=report.plan,
+        result=report.result,
+        tuning_time_seconds=report.tuning_time_seconds,
         extra={
-            "predicted_iteration_time": tuning.predicted_iteration_time,
-            "configurations_evaluated": tuning.configurations_evaluated,
-            "space": tuned_space.name,
+            "predicted_iteration_time": report.predicted.get(
+                "iteration_time", float("inf")),
+            "configurations_evaluated": report.configurations_evaluated,
+            "space": report.extra.get("space", tuned_space.name),
         },
     )
 
 
 def run_baseline(spec: WorkloadSpec, system: str) -> SystemOutcome:
-    """Run one baseline tuner end to end."""
-    if system not in BASELINE_TUNERS:
-        raise KeyError(
-            f"unknown baseline {system!r}; options: {sorted(BASELINE_TUNERS)}"
-        )
-    tuner_cls = BASELINE_TUNERS[system]
-    kwargs = {}
-    if system == "uniform-heuristic":
-        kwargs["interference"] = calibrated_interference(
-            not spec.cluster.gpu.has_nvlink
-        )
-        from repro.core import SPACE_MIST as _mist_space
+    """Run one baseline solver end to end (registry-driven)."""
+    from repro.api import TuningJob, get_solver, solver_names
 
-        kwargs["space"] = current_scale().apply(_mist_space)
-    tuner = tuner_cls(spec.model, spec.cluster, seq_len=spec.seq_len,
-                      flash=spec.flash, **kwargs)
-    start = time.perf_counter()
-    result = tuner.tune(spec.global_batch)
+    solver = _SOLVER_ALIASES.get(system, system)
+    valid = (set(BASELINE_TUNERS) | set(solver_names())) - {"mist"}
+    if system not in valid:
+        raise KeyError(
+            f"unknown baseline {system!r}; options: {sorted(valid)}"
+        )
+    job = TuningJob.from_workload(spec, scale=scale_ref(current_scale()))
+    report = get_solver(solver).solve(job)
     return SystemOutcome(
         system=system,
-        plan=result.best_plan,
-        result=result.best_result,
-        tuning_time_seconds=time.perf_counter() - start,
-        extra={
-            "candidates_tried": result.candidates_tried,
-            "candidates_oom": result.candidates_oom,
-        },
+        plan=report.plan,
+        result=report.result,
+        tuning_time_seconds=report.tuning_time_seconds,
+        extra=dict(report.extra),
     )
 
 

@@ -25,8 +25,12 @@ __all__ = [
     "TuningScale",
     "SCALES",
     "current_scale",
+    "get_scale",
     "paper_workloads",
     "gpu_count_for_size",
+    "scale_from_dict",
+    "scale_ref",
+    "scale_to_dict",
 ]
 
 #: model size tag -> number of GPUs (Table 4 scaling rule)
@@ -142,9 +146,52 @@ SCALES: dict[str, TuningScale] = {
 
 def current_scale() -> TuningScale:
     """Preset selected by ``REPRO_BENCH_SCALE`` (default: quick)."""
-    name = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
-    if name not in SCALES:
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    try:
+        return get_scale(name)
+    except KeyError:
         raise KeyError(
-            f"REPRO_BENCH_SCALE={name!r}; options: {sorted(SCALES)}"
-        )
-    return SCALES[name]
+            f"REPRO_BENCH_SCALE={name.lower()!r}; options: {sorted(SCALES)}"
+        ) from None
+
+
+def get_scale(name: str) -> TuningScale:
+    """Look up a preset by name (case-insensitive)."""
+    key = name.lower()
+    if key not in SCALES:
+        raise KeyError(f"unknown scale {name!r}; options: {sorted(SCALES)}")
+    return SCALES[key]
+
+
+def scale_to_dict(scale: TuningScale) -> dict:
+    """JSON-ready dict for an arbitrary (possibly customized) preset."""
+    return {
+        "name": scale.name,
+        "offload_grid": [float(v) for v in scale.offload_grid],
+        "binary_grid": [float(v) for v in scale.binary_grid],
+        "ckpt_grid_points": scale.ckpt_grid_points,
+        "max_pareto_points": scale.max_pareto_points,
+        "layer_slack": scale.layer_slack,
+        "max_gacc_candidates": scale.max_gacc_candidates,
+    }
+
+
+def scale_from_dict(data: dict) -> TuningScale:
+    """Inverse of :func:`scale_to_dict`."""
+    return TuningScale(
+        name=data["name"],
+        offload_grid=tuple(float(v) for v in data["offload_grid"]),
+        binary_grid=tuple(float(v) for v in data["binary_grid"]),
+        ckpt_grid_points=int(data["ckpt_grid_points"]),
+        max_pareto_points=int(data["max_pareto_points"]),
+        layer_slack=int(data["layer_slack"]),
+        max_gacc_candidates=int(data["max_gacc_candidates"]),
+    )
+
+
+def scale_ref(scale: TuningScale) -> "str | dict":
+    """Serializable reference: a preset name when known, else a dict."""
+    for name, preset in SCALES.items():
+        if preset == scale:
+            return name
+    return scale_to_dict(scale)

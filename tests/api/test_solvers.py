@@ -1,0 +1,126 @@
+"""End-to-end solver tests: Mist + baselines through the unified API.
+
+Includes the acceptance tests for the parallel (S, G) search: fanning
+the outer loop across workers must return the *identical* best plan as
+the serial path, on more than one workload.
+"""
+
+import pytest
+
+from repro.api import SolveReport, TuningJob, get_solver, solve
+from repro.core import MistTuner, SPACE_MIST
+from repro.evaluation import calibrated_interference
+from repro.hardware import make_cluster
+from repro.models import get_model
+
+#: two distinct workloads for the parallel-equivalence acceptance test
+WORKLOADS = [
+    ("gpt3-1.3b", 1, 2, 16, 2048),
+    ("gpt3-2.7b", 1, 4, 32, 1024),
+]
+
+
+def _make_tuner(model_spec, nodes, gpus, seq_len):
+    model = get_model(model_spec)
+    cluster = make_cluster("L4", nodes, gpus)
+    return MistTuner(
+        model, cluster, seq_len=seq_len, space=SPACE_MIST,
+        interference=calibrated_interference(True),
+        max_pareto_points=3, max_gacc_candidates=2,
+    )
+
+
+class TestParallelSearch:
+    @pytest.mark.parametrize(
+        "model_spec,nodes,gpus,batch,seq_len", WORKLOADS)
+    def test_parallel_matches_serial(self, model_spec, nodes, gpus, batch,
+                                     seq_len):
+        tuner = _make_tuner(model_spec, nodes, gpus, seq_len)
+        serial = tuner.search(batch, parallelism=1)
+        parallel = tuner.search(batch, parallelism=4)
+        assert serial.found and parallel.found
+        assert parallel.best_plan == serial.best_plan
+        assert parallel.top_plans == serial.top_plans
+        assert parallel.search_log == serial.search_log
+        assert parallel.configurations_evaluated \
+            == serial.configurations_evaluated
+
+    def test_parallelism_zero_means_all_cores(self):
+        tuner = _make_tuner("gpt3-1.3b", 1, 2, 2048)
+        result = tuner.search(16, parallelism=0)
+        assert result.found
+
+    def test_evaluation_count_returned_directly(self):
+        # the count comes back with each (S, G) solution, not through
+        # mutable tuner state
+        tuner = _make_tuner("gpt3-1.3b", 1, 2, 2048)
+        solution, evaluated = tuner._tune_pipeline(16, 1, 2, 1, [24])
+        assert evaluated > 0
+        assert not hasattr(tuner, "_last_intra")
+
+
+class TestDeprecatedShim:
+    def test_tune_still_works_with_warning(self):
+        tuner = _make_tuner("gpt3-1.3b", 1, 2, 2048)
+        with pytest.deprecated_call():
+            old = tuner.tune(16)
+        new = tuner.search(16)
+        assert old.best_plan == new.best_plan
+
+
+class TestMistSolver:
+    @pytest.fixture(scope="class")
+    def report(self):
+        job = TuningJob(model="gpt3-1.3b", num_gpus=2, global_batch=16,
+                        scale="smoke", parallelism=2)
+        return solve(job, "mist")
+
+    def test_plan_found_and_measured(self, report):
+        assert report.found
+        assert report.throughput > 0
+        assert report.predicted["throughput"] > 0
+        assert report.configurations_evaluated > 0
+        assert report.result is not None  # live execution attached
+
+    def test_search_log_carried_over(self, report):
+        assert report.search_log
+        assert all("num_stages" in entry for entry in report.search_log)
+
+    def test_report_round_trips_byte_identical(self, report):
+        text = report.to_json()
+        again = SolveReport.from_json(text)
+        assert again.to_json() == text
+        assert again.plan == report.plan
+        assert again.top_plans == report.top_plans
+
+    def test_plan_valid_for_workload(self, report):
+        spec = report.job.workload
+        report.plan.validate(spec.model, spec.cluster)
+
+    def test_infeasible_cells_stay_strict_json(self):
+        # 6.7B on 2 L4s in the parallelism-only space: (S, G) cells are
+        # infeasible, logged as None — the JSON must parse strictly
+        import json
+        job = TuningJob(model="gpt3-6.7b", num_gpus=2, global_batch=8,
+                        scale="smoke", space="3d")
+        report = solve(job, "mist")
+        assert any(entry["objective"] is None
+                   for entry in report.search_log)
+        def _no_constants(_):
+            raise AssertionError("non-standard JSON constant emitted")
+        parsed = json.loads(report.to_json(), parse_constant=_no_constants)
+        assert parsed["solver"] == "mist"
+
+
+class TestBaselineSolvers:
+    JOB = TuningJob(model="gpt3-1.3b", num_gpus=2, global_batch=16,
+                    scale="smoke")
+
+    @pytest.mark.parametrize("name", ["megatron", "uniform"])
+    def test_solver_finds_plan(self, name):
+        report = get_solver(name).solve(self.JOB)
+        assert report.solver == name
+        assert report.found
+        assert report.throughput > 0
+        assert SolveReport.from_json(report.to_json()).to_json() \
+            == report.to_json()

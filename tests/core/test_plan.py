@@ -174,3 +174,53 @@ class TestObjectives:
         base = pipeline_iteration_time(t, [0.0] * n, gacc)
         with_d = pipeline_iteration_time(t, d, gacc)
         assert with_d >= base - 1e-9
+
+
+class TestPlanSerialization:
+    PLAN = TrainingPlan(
+        global_batch=64, gacc=4,
+        stages=(
+            StageConfig(layers=12, microbatch=2, dp=4, tp=2, zero=2,
+                        ckpt=6, oo=0.5, ao=0.25),
+            StageConfig(layers=12, microbatch=2, dp=2, tp=4, zero=1,
+                        wo=1.0, go=0.5),
+        ),
+        source="test", metadata={"note": "round-trip"},
+    )
+
+    def test_dict_round_trip(self):
+        assert TrainingPlan.from_dict(self.PLAN.to_dict()) == self.PLAN
+
+    def test_json_round_trip_byte_identical(self):
+        text = self.PLAN.to_json()
+        again = TrainingPlan.from_json(text)
+        assert again == self.PLAN
+        assert again.to_json() == text
+
+    def test_stage_config_round_trip(self):
+        stage = self.PLAN.stages[0]
+        assert StageConfig.from_dict(stage.to_dict()) == stage
+
+    def test_metadata_preserved(self):
+        again = TrainingPlan.from_json(self.PLAN.to_json())
+        assert again.metadata == {"note": "round-trip"}
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        layers=st.integers(min_value=1, max_value=48),
+        microbatch=st.integers(min_value=1, max_value=8),
+        dp=st.integers(min_value=1, max_value=8),
+        tp=st.integers(min_value=1, max_value=8),
+        zero=st.integers(min_value=0, max_value=3),
+        oo=st.floats(min_value=0.0, max_value=1.0),
+        gacc=st.integers(min_value=1, max_value=16),
+    )
+    def test_round_trip_property(self, layers, microbatch, dp, tp, zero,
+                                 oo, gacc):
+        plan = TrainingPlan(
+            global_batch=microbatch * dp * gacc, gacc=gacc,
+            stages=(StageConfig(layers=layers, microbatch=microbatch,
+                                dp=dp, tp=tp, zero=zero,
+                                ckpt=layers // 2, oo=oo),),
+        )
+        assert TrainingPlan.from_json(plan.to_json()) == plan

@@ -29,7 +29,7 @@ def make_tuner(space=SPACE_MIST, **kwargs):
 
 @pytest.fixture(scope="module")
 def mist_result():
-    return make_tuner().tune(BATCH)
+    return make_tuner().search(BATCH)
 
 
 class TestTuner:
@@ -54,13 +54,13 @@ class TestTuner:
         assert all("num_stages" in entry for entry in mist_result.search_log)
 
     def test_wider_space_never_predicts_worse(self):
-        narrow = make_tuner(space=SPACE_3D).tune(BATCH)
-        wide = make_tuner(space=SPACE_MIST).tune(BATCH)
+        narrow = make_tuner(space=SPACE_3D).search(BATCH)
+        wide = make_tuner(space=SPACE_MIST).search(BATCH)
         assert wide.found and narrow.found
         assert wide.predicted_throughput >= narrow.predicted_throughput * 0.99
 
     def test_zero_space_includes_zero_configs(self):
-        result = make_tuner(space=SPACE_3D_ZERO).tune(BATCH)
+        result = make_tuner(space=SPACE_3D_ZERO).search(BATCH)
         assert result.found
 
     def test_gacc_candidates_capped(self):
@@ -75,5 +75,10 @@ class TestTuner:
 
     def test_imbalance_unaware_variant_runs(self):
         space = SPACE_MIST.with_(name="no-imb", imbalance_aware=False)
-        result = make_tuner(space=space).tune(BATCH)
+        result = make_tuner(space=space).search(BATCH)
         assert result.found
+
+    def test_deprecated_tune_alias(self, mist_result):
+        with pytest.deprecated_call():
+            legacy = make_tuner().tune(BATCH)
+        assert legacy.best_plan == mist_result.best_plan

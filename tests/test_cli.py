@@ -62,6 +62,14 @@ class TestAnalyze:
         assert "stage  0 |" in capsys.readouterr().out
 
 
+class TestSolvers:
+    def test_lists_registered_solvers(self, capsys):
+        assert main(["solvers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mist", "megatron", "deepspeed", "aceso", "uniform"):
+            assert name in out
+
+
 class TestTune:
     def test_tune_smoke_scale(self, capsys):
         code = main([
@@ -73,3 +81,99 @@ class TestTune:
         out = capsys.readouterr().out
         assert "plan[mist" in out
         assert "samples/s" in out
+
+    def test_tune_parallel_compare_and_json(self, capsys, tmp_path):
+        out_file = tmp_path / "report.json"
+        code = main([
+            "tune", "--model", "gpt3-1.3b", "--gpu", "L4",
+            "--gpus", "2", "--global-batch", "8", "--seq-len", "2048",
+            "--scale", "smoke", "--parallelism", "2",
+            "--compare", "megatron",
+            "--json", str(out_file),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "megatron:" in out
+        from repro.api import SolveReport
+        import json
+        payload = json.loads(out_file.read_text())
+        assert len(payload) == 2
+        loaded = SolveReport.from_dict(payload[0])
+        assert loaded.solver == "mist" and loaded.found
+
+    def test_tune_invalid_job_clean_error(self, capsys):
+        code = main([
+            "tune", "--model", "gpt3-1.3b", "--gpu", "L4",
+            "--gpus", "-1", "--global-batch", "8", "--scale", "smoke",
+        ])
+        assert code == 2
+        assert "invalid job" in capsys.readouterr().out
+
+    def test_tune_json_written_when_infeasible(self, capsys, tmp_path):
+        out_file = tmp_path / "report.json"
+        code = main([
+            "tune", "--model", "gpt3-6.7b", "--gpu", "L4",
+            "--gpus", "2", "--global-batch", "8", "--scale", "smoke",
+            "--space", "3d", "--json", str(out_file),
+        ])
+        assert code == 1
+        assert "no feasible plan" in capsys.readouterr().out
+        import json
+        payload = json.loads(out_file.read_text())
+        assert payload["plan"] is None
+
+    def test_tune_unknown_solver(self, capsys):
+        code = main([
+            "tune", "--model", "gpt3-1.3b", "--gpu", "L4",
+            "--gpus", "2", "--global-batch", "8", "--scale", "smoke",
+            "--solver", "alpa",
+        ])
+        assert code == 2
+        assert "unknown solver" in capsys.readouterr().out
+
+    def test_tune_unknown_compare_solver(self, capsys):
+        code = main([
+            "tune", "--model", "gpt3-1.3b", "--gpu", "L4",
+            "--gpus", "2", "--global-batch", "8", "--scale", "smoke",
+            "--compare", "alpa",
+        ])
+        assert code == 2
+        assert "unknown solver" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_sweep_through_registry(self, capsys, tmp_path):
+        code = main([
+            "sweep", "--gpu", "L4", "--sizes", "1.3b",
+            "--solvers", "megatron", "mist",
+            "--scale", "smoke", "--global-batch", "8",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--json", str(tmp_path / "sweep.json"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "megatron (samp/s | x)" in out
+        assert "1.00x" in out
+        assert (tmp_path / "sweep.json").exists()
+
+    def test_sweep_cache_reused(self, capsys, tmp_path):
+        args = [
+            "sweep", "--gpu", "L4", "--sizes", "1.3b",
+            "--solvers", "mist", "--scale", "smoke",
+            "--global-batch", "8", "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "(cached)" in capsys.readouterr().out
+
+    def test_sweep_unknown_size(self, capsys):
+        code = main(["sweep", "--sizes", "9000b", "--solvers", "mist",
+                     "--scale", "smoke"])
+        assert code == 2
+
+    def test_sweep_bad_reference_rejected(self, capsys):
+        code = main(["sweep", "--sizes", "1.3b", "--solvers", "mist",
+                     "--reference", "mists", "--scale", "smoke"])
+        assert code == 2
+        assert "--reference" in capsys.readouterr().out

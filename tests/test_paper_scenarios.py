@@ -131,12 +131,12 @@ class TestTunedPlanQuality:
         interference = calibrated_interference(True)
         full = MistTuner(MODEL, CLUSTER, seq_len=SEQ, space=SPACE_MIST,
                          interference=interference,
-                         max_gacc_candidates=3).tune(16)
+                         max_gacc_candidates=3).search(16)
         narrow = MistTuner(MODEL, CLUSTER, seq_len=SEQ,
                            space=SPACE_3D.with_(name="3d",
                                                 ckpt_policy="full"),
                            interference=interference,
-                           max_gacc_candidates=3).tune(16)
+                           max_gacc_candidates=3).search(16)
         engine = ExecutionEngine(CLUSTER, system="mist")
         best_full = max(
             engine.run(p, MODEL, seq_len=SEQ).throughput
@@ -157,7 +157,7 @@ class TestTunedPlanQuality:
                                      imbalance_aware=aware)
             tuned = MistTuner(MODEL, CLUSTER, seq_len=SEQ, space=space,
                               interference=interference,
-                              max_gacc_candidates=3).tune(16)
+                              max_gacc_candidates=3).search(16)
             results[aware] = max(
                 engine.run(p, MODEL, seq_len=SEQ).throughput
                 for p in tuned.top_plans
