@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Check that relative links in README/docs resolve to real files.
+
+Scans markdown files for ``[text](target)`` links, ignores external
+(``http(s)://``, ``mailto:``) and pure-anchor targets, and fails if a
+relative target (file or ``file#anchor``) does not exist on disk.
+Inline/fenced code spans are stripped first so code examples never
+produce false positives.
+
+Usage: python scripts/check_docs_links.py  (from the repo root; exits
+non-zero listing every broken link)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+INLINE_CODE_RE = re.compile(r"`[^`]*`")
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+
+
+def broken_links(path: Path) -> list[str]:
+    text = path.read_text(encoding="utf-8")
+    text = FENCE_RE.sub("", text)
+    text = INLINE_CODE_RE.sub("", text)
+    missing = []
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        if not (path.parent / relative).exists():
+            missing.append(target)
+    return missing
+
+
+def main() -> int:
+    failures = 0
+    for doc in DOC_FILES:
+        if not doc.exists():
+            print(f"MISSING DOC FILE: {doc.relative_to(ROOT)}")
+            failures += 1
+            continue
+        for target in broken_links(doc):
+            print(f"{doc.relative_to(ROOT)}: broken link -> {target}")
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)")
+        return 1
+    print(f"all links resolve in {len(DOC_FILES)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

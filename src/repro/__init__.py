@@ -45,15 +45,25 @@ from .core import (
     TrainingPlan,
     TuningResult,
 )
-from .hardware import ClusterSpec, GPUSpec, get_gpu, make_cluster
+from .hardware import (
+    ClusterSpec,
+    DeviceGroup,
+    GPUSpec,
+    HeterogeneousCluster,
+    cluster_from_dict,
+    get_gpu,
+    make_cluster,
+)
 from .models import ModelConfig, get_model, list_models
 from . import api
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ClusterSpec",
+    "DeviceGroup",
     "GPUSpec",
+    "HeterogeneousCluster",
     "MistTuner",
     "ModelConfig",
     "SPACE_MIST",
@@ -64,6 +74,7 @@ __all__ = [
     "TuningResult",
     "__version__",
     "api",
+    "cluster_from_dict",
     "get_gpu",
     "get_model",
     "list_models",

@@ -12,6 +12,13 @@ Jobs are plain data: JSON round-trippable via :meth:`TuningJob.to_json`
 :meth:`TuningJob.fingerprint` (the plan cache key). Spaces and scales
 are stored either as registry slugs (``"mist"``, ``"quick"``) or as
 fully inlined dicts for customized instances — both serialize.
+
+Clusters default to the homogeneous shape implied by ``gpu`` /
+``num_gpus``; an explicit ``cluster`` dict (the
+:func:`repro.hardware.cluster_from_dict` schema, see ``docs/API.md``)
+pins the exact topology and is how heterogeneous fleets — named device
+groups with different GPU types — enter the API. Build such jobs with
+:meth:`TuningJob.for_cluster`.
 """
 
 from __future__ import annotations
@@ -25,7 +32,13 @@ from repro.evaluation.workloads import (
     TuningScale,
     WorkloadSpec,
     get_scale,
+    mixed_workload,
     scale_from_dict,
+)
+from repro.hardware import (
+    ClusterSpec,
+    HeterogeneousCluster,
+    cluster_from_dict,
 )
 
 __all__ = ["TuningJob", "JobValidationError"]
@@ -64,12 +77,27 @@ class TuningJob:
     parallelism: int = 1
     #: number of top predicted plans the solver may execute/verify
     keep_top: int = 3
+    #: explicit cluster topology (repro.hardware.cluster_from_dict
+    #: schema); None = homogeneous cluster implied by gpu/num_gpus
+    cluster: dict | None = None
     #: free-form per-solver knobs (must stay JSON-serializable)
     options: dict = field(default_factory=dict)
 
     def __post_init__(self):
         if self.num_gpus < 1:
             raise JobValidationError("num_gpus must be >= 1")
+        if self.cluster is not None:
+            try:
+                parsed = cluster_from_dict(self.cluster)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise JobValidationError(
+                    f"invalid cluster description: {exc}"
+                ) from exc
+            if parsed.total_gpus != self.num_gpus:
+                raise JobValidationError(
+                    f"cluster has {parsed.total_gpus} GPUs but "
+                    f"num_gpus={self.num_gpus}"
+                )
         if self.global_batch < 1:
             raise JobValidationError("global_batch must be >= 1")
         if self.seq_len < 1:
@@ -92,15 +120,42 @@ class TuningJob:
             model_spec=self.model, gpu_name=self.gpu,
             num_gpus=self.num_gpus, global_batch=self.global_batch,
             seq_len=self.seq_len, flash=self.flash,
+            cluster_dict=self.cluster,
         )
+
+    def resolved_cluster(self) -> "ClusterSpec | HeterogeneousCluster":
+        """The cluster this job tunes for (explicit dict or implied)."""
+        return self.workload.cluster
 
     @classmethod
     def from_workload(cls, spec: WorkloadSpec, **overrides) -> "TuningJob":
+        if spec.cluster_dict is not None:
+            overrides.setdefault("cluster", spec.cluster_dict)
         return cls(
             model=spec.model_spec, gpu=spec.gpu_name,
             num_gpus=spec.num_gpus, global_batch=spec.global_batch,
             seq_len=spec.seq_len, flash=spec.flash, **overrides,
         )
+
+    @classmethod
+    def for_cluster(cls,
+                    cluster: "dict | ClusterSpec | HeterogeneousCluster",
+                    *, model: str, global_batch: int, seq_len: int = 2048,
+                    flash: bool = True, **kwargs) -> "TuningJob":
+        """Build a job for an explicit (possibly heterogeneous) cluster.
+
+        ``num_gpus`` and ``gpu`` are derived from the cluster (via
+        :func:`repro.evaluation.workloads.mixed_workload`); all other
+        :class:`TuningJob` fields pass through ``kwargs``.
+        """
+        try:
+            spec = mixed_workload(cluster, model, global_batch,
+                                  seq_len=seq_len, flash=flash)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise JobValidationError(
+                f"invalid cluster description: {exc}"
+            ) from exc
+        return cls.from_workload(spec, **kwargs)
 
     def resolved_space(self) -> SearchSpace:
         if isinstance(self.space, str):
@@ -118,7 +173,7 @@ class TuningJob:
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "model": self.model,
             "gpu": self.gpu,
             "num_gpus": self.num_gpus,
@@ -132,6 +187,11 @@ class TuningJob:
             "keep_top": self.keep_top,
             "options": self.options,
         }
+        # serialized only when explicit, so pre-existing jobs keep their
+        # dict shape — and, below, their cache fingerprints
+        if self.cluster is not None:
+            out["cluster"] = self.cluster
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "TuningJob":

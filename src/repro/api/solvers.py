@@ -11,9 +11,19 @@ here, all speaking the same ``solve(job) -> SolveReport`` protocol:
 * ``aceso``     — iterative bottleneck alleviation with an
   overlap-unaware predictor;
 * ``uniform``   — the uniform-strategy heuristic (Yuan et al., §3.3).
+
+Heterogeneous clusters (``job.cluster``): ``mist`` tunes them natively
+— per-device-group analyzers, group-aware stage partitioning, and
+execution on the mixed fleet. The baselines predate heterogeneity, so
+they fall back to the conservative worst-GPU homogeneous view
+(:meth:`~repro.hardware.HeterogeneousCluster.fallback_homogeneous`)
+with a :class:`RuntimeWarning` — mirroring how one would actually run
+Megatron-LM/DeepSpeed on a mixed fleet.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.baselines import (
     AcesoTuner,
@@ -25,6 +35,7 @@ from repro.baselines import (
 from repro.core import MistTuner
 from repro.evaluation.runner import calibrated_interference
 from repro.execution import ExecutionEngine, IterationResult, OOMError
+from repro.hardware import HeterogeneousCluster
 
 from .cache import PlanCache
 from .job import TuningJob
@@ -52,10 +63,36 @@ def _measured(result: IterationResult | None) -> dict:
 
 
 def _job_interference(job: TuningJob):
+    """Interference model(s) for the job's fabric(s).
+
+    Homogeneous clusters get one calibrated model; heterogeneous
+    clusters a per-device-group mapping (the shape
+    :class:`~repro.core.MistTuner` accepts).
+    """
     if job.interference == "none":
         return None
-    cluster = job.workload.cluster
+    cluster = job.resolved_cluster()
+    if isinstance(cluster, HeterogeneousCluster):
+        return {
+            group.name: calibrated_interference(not group.gpu.has_nvlink)
+            for group in cluster.groups
+        }
     return calibrated_interference(not cluster.gpu.has_nvlink)
+
+
+def _baseline_cluster(job: TuningJob, solver_name: str):
+    """Baselines see mixed fleets as worst-GPU homogeneous (warned)."""
+    cluster = job.resolved_cluster()
+    if isinstance(cluster, HeterogeneousCluster):
+        fallback = cluster.fallback_homogeneous()
+        warnings.warn(
+            f"solver {solver_name!r} does not support heterogeneous "
+            f"clusters; tuning {cluster.name} as the worst-GPU homogeneous "
+            f"cluster {fallback.name}",
+            RuntimeWarning, stacklevel=3,
+        )
+        return fallback
+    return cluster
 
 
 @register_solver("mist")
@@ -64,10 +101,11 @@ class MistSolver:
 
     def solve(self, job: TuningJob) -> SolveReport:
         spec = job.workload
+        cluster = spec.cluster  # ClusterSpec or HeterogeneousCluster
         scale = job.resolved_scale()
         space = scale.apply(job.resolved_space())
         tuner = MistTuner(
-            spec.model, spec.cluster, seq_len=spec.seq_len,
+            spec.model, cluster, seq_len=spec.seq_len,
             flash=spec.flash, space=space,
             interference=_job_interference(job),
             max_pareto_points=scale.max_pareto_points,
@@ -79,7 +117,7 @@ class MistSolver:
         # Execute the top predicted plans and keep the best measured one
         # (the artifact's benchmark-one-case step, which absorbs the
         # winner's-curse bias of the argmin over noisy predictions).
-        engine = ExecutionEngine(spec.cluster, system="mist")
+        engine = ExecutionEngine(cluster, system="mist")
         result = None
         best_plan = None
         for plan in tuning.top_plans or (
@@ -121,12 +159,20 @@ class _BaselineSolver:
 
     def make_tuner(self, job: TuningJob):
         spec = job.workload
-        return self.tuner_cls(spec.model, spec.cluster,
+        cluster = _baseline_cluster(job, self.solver_name)
+        return self.tuner_cls(spec.model, cluster,
                               seq_len=spec.seq_len, flash=spec.flash)
 
     def solve(self, job: TuningJob) -> SolveReport:
         tuner = self.make_tuner(job)
         outcome: BaselineResult = tuner.tune(job.global_batch)
+        extra = {
+            "candidates_tried": outcome.candidates_tried,
+            "candidates_oom": outcome.candidates_oom,
+        }
+        if job.cluster is not None and isinstance(
+                job.resolved_cluster(), HeterogeneousCluster):
+            extra["heterogeneous_fallback"] = tuner.cluster.name
         return SolveReport(
             solver=self.solver_name,
             job=job,
@@ -134,10 +180,7 @@ class _BaselineSolver:
             measured=_measured(outcome.best_result),
             tuning_time_seconds=outcome.tuning_time_seconds,
             configurations_evaluated=outcome.candidates_tried,
-            extra={
-                "candidates_tried": outcome.candidates_tried,
-                "candidates_oom": outcome.candidates_oom,
-            },
+            extra=extra,
             result=outcome.best_result,
         )
 
@@ -172,10 +215,15 @@ class UniformSolver(_BaselineSolver):
     def make_tuner(self, job: TuningJob):
         spec = job.workload
         space = job.resolved_scale().apply(job.resolved_space())
+        cluster = _baseline_cluster(job, self.solver_name)
+        interference = None
+        if job.interference != "none":
+            # single-model tuner: calibrate for the fallback fabric
+            interference = calibrated_interference(not cluster.gpu.has_nvlink)
         return self.tuner_cls(
-            spec.model, spec.cluster, seq_len=spec.seq_len,
+            spec.model, cluster, seq_len=spec.seq_len,
             flash=spec.flash, space=space,
-            interference=_job_interference(job),
+            interference=interference,
         )
 
 

@@ -4,9 +4,12 @@ Commands:
 
 * ``tune``     — solve one workload through the solver registry, print
   the plan and measured throughput; ``--compare`` runs any other
-  registered solvers on the same job.
+  registered solvers on the same job; ``--cluster file.json`` tunes an
+  explicit (possibly heterogeneous, mixed-GPU) cluster.
 * ``sweep``    — run several solvers across a grid of model sizes and
   print the normalized-throughput table (Figs. 11/12 style).
+* ``cluster``  — inspect/validate a cluster description file: device
+  groups, per-GPU memory budgets, link bandwidths.
 * ``solvers``  — list the registered solver backends.
 * ``models``   — list available model configurations.
 * ``analyze``  — predict time/memory for an explicit configuration.
@@ -15,9 +18,15 @@ Examples::
 
     python -m repro tune --model gpt3-6.7b --gpu L4 --gpus 8 \
         --global-batch 128 --seq-len 2048 --compare megatron deepspeed
+    python -m repro tune --model gpt3-2.7b --global-batch 64 \
+        --cluster examples/mixed_a100_l4.json --solver mist
+    python -m repro cluster examples/mixed_a100_l4.json
     python -m repro sweep --gpu L4 --sizes 1.3b 2.7b --solvers mist megatron
     python -m repro analyze --model gpt3-2.7b --gpu L4 --gpus 4 \
         --global-batch 8 --seq-len 4096 --stages 2 --dp 2 --ckpt full
+
+Full documentation lives in ``docs/`` (ARCHITECTURE.md, API.md,
+PAPER_MAPPING.md).
 """
 
 from __future__ import annotations
@@ -40,18 +49,21 @@ from repro.core.spaces import NAMED_SPACES
 from repro.evaluation.reporting import format_throughput_rows
 from repro.evaluation.workloads import SCALES, WorkloadSpec, paper_workloads
 from repro.execution import ExecutionEngine, OOMError, render_timeline
+from repro.hardware import HeterogeneousCluster, cluster_to_dict, load_cluster
 from repro.models import get_model, list_models
 
 __all__ = ["main"]
 
 
-def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+def _add_workload_args(parser: argparse.ArgumentParser, *,
+                       gpus_required: bool = True) -> None:
     parser.add_argument("--model", required=True,
                         help="model spec, e.g. gpt3-2.7b (see 'models')")
-    parser.add_argument("--gpu", default="L4",
-                        help="GPU type: L4, A100-40GB, A100-80GB, H100-80GB")
-    parser.add_argument("--gpus", type=int, required=True,
-                        help="total GPU count")
+    parser.add_argument("--gpu", default=None,
+                        help="GPU type: L4 (default), A100-40GB, "
+                             "A100-80GB, H100-80GB")
+    parser.add_argument("--gpus", type=int, required=gpus_required,
+                        default=None, help="total GPU count")
     parser.add_argument("--global-batch", type=int, required=True)
     parser.add_argument("--seq-len", type=int, default=2048)
     parser.add_argument("--no-flash", action="store_true",
@@ -73,12 +85,29 @@ def _add_solver_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _job(args) -> TuningJob:
-    return TuningJob(
-        model=args.model, gpu=args.gpu, num_gpus=args.gpus,
-        global_batch=args.global_batch, seq_len=args.seq_len,
-        flash=not args.no_flash, space=args.space, scale=args.scale,
+    common = dict(
+        model=args.model, global_batch=args.global_batch,
+        seq_len=args.seq_len, flash=not args.no_flash,
+        space=args.space, scale=args.scale,
         parallelism=args.parallelism,
     )
+    cluster_file = getattr(args, "cluster", None)
+    if cluster_file:
+        if args.gpu is not None:
+            raise JobValidationError(
+                "--gpu conflicts with --cluster "
+                "(GPU types come from the cluster file)"
+            )
+        cluster = load_cluster(cluster_file)
+        if args.gpus is not None and args.gpus != cluster.total_gpus:
+            raise JobValidationError(
+                f"--gpus {args.gpus} contradicts --cluster "
+                f"({cluster.total_gpus} GPUs in {cluster_file})"
+            )
+        return TuningJob.for_cluster(cluster, **common)
+    if args.gpus is None:
+        raise JobValidationError("--gpus is required without --cluster")
+    return TuningJob(gpu=args.gpu or "L4", num_gpus=args.gpus, **common)
 
 
 def _cache(args) -> PlanCache | None:
@@ -112,11 +141,16 @@ def _cmd_solvers(_args) -> int:
 def _cmd_tune(args) -> int:
     try:
         job = _job(args)
-    except JobValidationError as exc:
-        print(f"invalid job: {exc}")
+    except (JobValidationError, OSError, TypeError, ValueError,
+            KeyError) as exc:
+        detail = exc.args[0] if exc.args else exc
+        print(f"invalid job: {detail}")
         return 2
     cache = _cache(args)
-    print(f"tuning {job.model} on {job.gpu} x {job.num_gpus}, "
+    cluster = job.resolved_cluster()
+    where = (cluster.name if isinstance(cluster, HeterogeneousCluster)
+             else f"{job.gpu} x {job.num_gpus}")
+    print(f"tuning {job.model} on {where}, "
           f"B={job.global_batch}, seq={job.seq_len}, scale={args.scale}, "
           f"solver={args.solver}")
     try:
@@ -219,11 +253,46 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    try:
+        cluster = load_cluster(args.file)
+    except (OSError, TypeError, ValueError, KeyError) as exc:
+        detail = exc.args[0] if exc.args else exc
+        print(f"invalid cluster file: {detail}")
+        return 2
+    if args.json:
+        print(json.dumps(cluster_to_dict(cluster), sort_keys=True, indent=2))
+        return 0
+    # tuner-visible budget: what intra-stage tuning bounds peak memory by
+    from repro.core.analyzer import memory_budget_bytes
+
+    def budget(gpu) -> float:
+        return memory_budget_bytes(gpu) / 2**30
+
+    if isinstance(cluster, HeterogeneousCluster):
+        print(cluster.describe())
+        for group in cluster.groups:
+            print(f"  {group.name}: tuner memory budget "
+                  f"{budget(group.gpu):.1f} GiB/GPU")
+        fallback = cluster.fallback_homogeneous()
+        print(f"  baseline fallback view: {fallback.name}")
+    else:
+        print(f"homogeneous cluster: {cluster.name} "
+              f"({cluster.total_gpus} GPUs)")
+        gpu = cluster.gpu
+        fabric = (f"NVLink {gpu.nvlink_bandwidth / 1e9:.0f} GB/s"
+                  if gpu.has_nvlink else "PCIe only")
+        print(f"  {gpu.name}: mem {gpu.memory_gb:.0f} GB  {fabric}  "
+              f"net {cluster.inter_node_bandwidth * 8 / 1e9:.0f} Gbps")
+        print(f"  tuner memory budget {budget(gpu):.1f} GiB/GPU")
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     spec = WorkloadSpec(
-        model_spec=args.model, gpu_name=args.gpu, num_gpus=args.gpus,
-        global_batch=args.global_batch, seq_len=args.seq_len,
-        flash=not args.no_flash,
+        model_spec=args.model, gpu_name=args.gpu or "L4",
+        num_gpus=args.gpus, global_batch=args.global_batch,
+        seq_len=args.seq_len, flash=not args.no_flash,
     )
     model = spec.model
     cluster = spec.cluster
@@ -258,6 +327,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Mist reproduction: distributed-training auto-tuning",
+        epilog="Docs: docs/ARCHITECTURE.md (layer map), docs/API.md "
+               "(solver API + cluster schema), docs/PAPER_MAPPING.md "
+               "(paper section/figure -> code map).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -269,8 +341,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_solvers.set_defaults(func=_cmd_solvers)
 
     p_tune = sub.add_parser("tune", help="auto-tune a training plan")
-    _add_workload_args(p_tune)
+    _add_workload_args(p_tune, gpus_required=False)
     _add_solver_args(p_tune)
+    p_tune.add_argument("--cluster", metavar="FILE", default=None,
+                        help="cluster description JSON (heterogeneous or "
+                             "homogeneous; see 'repro cluster' and "
+                             "docs/API.md); replaces --gpu/--gpus")
     p_tune.add_argument("--solver", default="mist",
                         help="registered solver to tune with "
                              "(see 'solvers')")
@@ -280,6 +356,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--timeline", action="store_true",
                         help="render the executed 1F1B timeline")
     p_tune.set_defaults(func=_cmd_tune)
+
+    p_cluster = sub.add_parser(
+        "cluster", help="inspect/validate a cluster description file")
+    p_cluster.add_argument("file", help="cluster JSON "
+                                        "(e.g. examples/mixed_a100_l4.json)")
+    p_cluster.add_argument("--json", action="store_true",
+                           help="print the normalized cluster dict")
+    p_cluster.set_defaults(func=_cmd_cluster)
 
     p_sweep = sub.add_parser(
         "sweep", help="run solvers across a grid of model sizes")

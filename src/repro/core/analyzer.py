@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.costmodel.interference import InterferenceModel
 from repro.execution.schedule import MIST_IMPL_OVERHEAD
-from repro.hardware import ClusterSpec
+from repro.hardware import ClusterSpec, GPUSpec
 from repro.symbolic import compile_expr
 from repro.tracing import ALL_SYMBOLS, TracedModel
 from repro.tracing.memory import FRAMEWORK_OVERHEAD_BYTES
@@ -31,7 +31,8 @@ from .objectives import pipeline_iteration_time, throughput
 from .plan import TrainingPlan
 
 __all__ = ["SymbolicPerformanceAnalyzer", "StagePrediction", "PlanPrediction",
-           "FRAMEWORK_OVERHEAD_BYTES", "MEMORY_SAFETY_MARGIN_BYTES"]
+           "FRAMEWORK_OVERHEAD_BYTES", "MEMORY_SAFETY_MARGIN_BYTES",
+           "memory_budget_bytes"]
 
 _ARG_NAMES = tuple(sym.name for sym in ALL_SYMBOLS)
 
@@ -39,6 +40,12 @@ _ARG_NAMES = tuple(sym.name for sym in ALL_SYMBOLS)
 #: overhead — absorbs the engine's whole-layer offload quantization so
 #: tuned plans never OOM at execution time
 MEMORY_SAFETY_MARGIN_BYTES = 192 * 1024**2
+
+
+def memory_budget_bytes(gpu: GPUSpec) -> float:
+    """Per-GPU byte budget the tuner bounds peak memory by."""
+    return (gpu.usable_memory_bytes
+            - FRAMEWORK_OVERHEAD_BYTES - MEMORY_SAFETY_MARGIN_BYTES)
 
 
 @dataclass
@@ -72,19 +79,29 @@ class PlanPrediction:
 
 
 class SymbolicPerformanceAnalyzer:
-    """One-time compilation, many cheap configuration queries."""
+    """One-time compilation, many cheap configuration queries.
+
+    ``gpu`` pins the device whose memory bounds the stages this
+    analyzer prices — by default the cluster's GPU, but heterogeneous
+    tuning builds one analyzer per
+    :class:`~repro.hardware.topology.DeviceGroup` and passes that
+    group's :class:`~repro.hardware.gpu.GPUSpec` explicitly.
+    """
 
     def __init__(self, traced: TracedModel, cluster: ClusterSpec,
-                 interference: InterferenceModel | None = None):
-        if traced.gpu.name != cluster.gpu.name:
+                 interference: InterferenceModel | None = None, *,
+                 gpu: GPUSpec | None = None):
+        gpu = gpu if gpu is not None else cluster.gpu
+        if traced.gpu.name != gpu.name:
             raise ValueError(
-                f"traced model priced for {traced.gpu.name}, cluster has "
-                f"{cluster.gpu.name}"
+                f"traced model priced for {traced.gpu.name}, analyzer "
+                f"device is {gpu.name}"
             )
         self.traced = traced
         self.cluster = cluster
+        self.gpu = gpu
         self.interference = interference or InterferenceModel.default(
-            pcie_only=not cluster.gpu.has_nvlink
+            pcie_only=not gpu.has_nvlink
         )
         rt, mem = traced.runtime, traced.memory
         # Channel mapping mirrors the execution schedule: TP all-reduces
@@ -120,9 +137,8 @@ class SymbolicPerformanceAnalyzer:
 
     @property
     def memory_budget(self) -> float:
-        """Per-GPU byte budget available to the plan."""
-        return (self.cluster.gpu.usable_memory_bytes
-                - FRAMEWORK_OVERHEAD_BYTES - MEMORY_SAFETY_MARGIN_BYTES)
+        """Per-GPU byte budget available to the plan (this device's)."""
+        return memory_budget_bytes(self.gpu)
 
     def hardware_env(self, dp, tp) -> dict[str, np.ndarray]:
         """Bandwidth/latency symbol values for (possibly batched) dp, tp."""

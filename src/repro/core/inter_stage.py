@@ -13,6 +13,16 @@ backend — the off-the-shelf-solver route the paper takes.
 
 :func:`solve_exact` enumerates assignments for small instances and is
 used to validate the MILP in tests. :func:`solve` picks automatically.
+
+Heterogeneous clusters extend the stage partition with a *device-group
+assignment*: every pipeline stage is pinned to one
+:class:`~repro.hardware.topology.DeviceGroup` (contiguously, in group
+order), and its menu of Pareto points is produced by that group's
+analyzer — so each ``(t, d)`` option already reflects the group's
+calibrated cost model and memory budget. The MILP itself is unchanged:
+it only sees per-stage menus, which now differ per group.
+:func:`group_stage_assignments` enumerates the candidate assignments
+the outer tuner loops over.
 """
 
 from __future__ import annotations
@@ -20,15 +30,69 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 from scipy.sparse import lil_matrix
 
+from repro.hardware import HeterogeneousCluster
+
 from .intra_stage import ParetoPoint
 from .objectives import pipeline_iteration_time
 
-__all__ = ["InterStageSolution", "solve", "solve_milp", "solve_exact"]
+__all__ = [
+    "InterStageSolution",
+    "StageSlot",
+    "group_stage_assignments",
+    "solve",
+    "solve_milp",
+    "solve_exact",
+]
+
+
+class StageSlot(NamedTuple):
+    """One pipeline-stage position of a heterogeneous assignment."""
+
+    group: str
+    stage_gpus: int
+
+
+def group_stage_assignments(cluster: HeterogeneousCluster,
+                            max_total_stages: int,
+                            ) -> list[tuple[StageSlot, ...]]:
+    """Candidate stage -> device-group assignments for a mixed fleet.
+
+    Every group hosts at least one stage; a group with ``n`` GPUs may
+    host any stage count dividing ``n`` (each of its stages then owns
+    ``n / s`` GPUs, the contiguous-range rule applied per group). The
+    pipeline traverses groups in declaration order *or* reverse order —
+    which end hosts the embedding/LM-head stages matters, so both
+    directions are enumerated. Assignments longer than
+    ``max_total_stages`` (the model depth) are dropped.
+    """
+    def options(group):
+        return [s for s in range(1, group.total_gpus + 1)
+                if group.total_gpus % s == 0]
+
+    assignments: list[tuple[StageSlot, ...]] = []
+    seen: set[tuple[StageSlot, ...]] = set()
+    orders = [cluster.groups]
+    if len(cluster.groups) > 1:
+        orders.append(tuple(reversed(cluster.groups)))
+    for order in orders:
+        for counts in itertools.product(*(options(g) for g in order)):
+            if sum(counts) > max_total_stages:
+                continue
+            assignment = tuple(
+                StageSlot(group=g.name, stage_gpus=g.total_gpus // s)
+                for g, s in zip(order, counts)
+                for _ in range(s)
+            )
+            if assignment not in seen:
+                seen.add(assignment)
+                assignments.append(assignment)
+    return assignments
 
 Menus = list[dict[int, list[ParetoPoint]]]
 """menus[i][l] -> Pareto points of stage i with l layers."""

@@ -58,6 +58,15 @@ class StageShape:
     inflight: int
     has_pre: bool
     has_post: bool
+    #: device group hosting the stage ("" on homogeneous clusters);
+    #: configurations produced for this shape carry the tag, and the
+    #: tuner evaluating the shape must use that group's analyzer
+    group: str = ""
+    #: pipeline p2p clamps for stages adjacent to a device-group
+    #: boundary: bandwidth capped at (latency floored to) the
+    #: inter-group link, matching what the execution engine charges
+    p2p_bandwidth_cap: float | None = None
+    p2p_latency_floor: float | None = None
 
 
 class IntraStageTuner:
@@ -153,6 +162,10 @@ class IntraStageTuner:
             # hardware values are constant for this (dp, tp) choice
             hw = {k: float(v.reshape(-1)[0])
                   for k, v in self.analyzer.hardware_env(dp, tp).items()}
+            if shape.p2p_bandwidth_cap is not None:
+                hw["p2p_bw"] = min(hw["p2p_bw"], shape.p2p_bandwidth_cap)
+            if shape.p2p_latency_floor is not None:
+                hw["p2p_lat"] = max(hw["p2p_lat"], shape.p2p_latency_floor)
             env = self.analyzer.build_env(
                 b=np.full(n, b), s=np.full(n, self.seq_len),
                 tp=np.full(n, tp), dp=np.full(n, dp),
@@ -179,6 +192,7 @@ class IntraStageTuner:
                     zero=int(zero_g[i]), ckpt=int(ckpt_g[i]),
                     wo=float(wo_g[i]), go=float(go_g[i]),
                     oo=float(oo_g[i]), ao=float(ao_g[i]),
+                    device_group=shape.group,
                 )
                 menus[int(l_g[i])].append(
                     (float(pred.t_stable[i]), float(pred.delta[i]),

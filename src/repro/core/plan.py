@@ -3,6 +3,12 @@
 A :class:`TrainingPlan` fixes gradient-accumulation steps ``G`` and, for
 each pipeline stage ``i``, the tuple
 ``(L_i, b_i, DP_i, TP_i, ZeRO_i, CKPT_i, WO_i, GO_i, OO_i, AO_i)``.
+
+On heterogeneous clusters each stage additionally carries a
+``device_group`` tag naming the
+:class:`~repro.hardware.topology.DeviceGroup` that hosts it; on
+homogeneous clusters the tag stays empty and plans are byte-identical
+to their pre-heterogeneity serialization.
 """
 
 from __future__ import annotations
@@ -10,7 +16,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field, replace
 
-from repro.hardware import ClusterSpec
+from repro.hardware import ClusterSpec, HeterogeneousCluster
 from repro.models.config import ModelConfig
 
 __all__ = ["StageConfig", "TrainingPlan", "PlanValidationError", "zero_flags",
@@ -46,6 +52,8 @@ class StageConfig:
     go: float = 0.0
     oo: float = 0.0
     ao: float = 0.0
+    #: device group hosting this stage ("" = the cluster's only kind)
+    device_group: str = ""
 
     def __post_init__(self):
         if self.layers < 0:
@@ -76,12 +84,17 @@ class StageConfig:
         return self.dp * self.microbatch
 
     def to_dict(self) -> dict:
-        return {
+        # device_group is serialized only when set, so homogeneous plans
+        # keep their pre-heterogeneity byte-identical JSON form
+        out = {
             "layers": self.layers, "microbatch": self.microbatch,
             "dp": self.dp, "tp": self.tp, "zero": self.zero,
             "ckpt": self.ckpt, "wo": self.wo, "go": self.go,
             "oo": self.oo, "ao": self.ao,
         }
+        if self.device_group:
+            out["device_group"] = self.device_group
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "StageConfig":
@@ -91,6 +104,7 @@ class StageConfig:
             zero=int(data.get("zero", 0)), ckpt=int(data.get("ckpt", 0)),
             wo=float(data.get("wo", 0.0)), go=float(data.get("go", 0.0)),
             oo=float(data.get("oo", 0.0)), ao=float(data.get("ao", 0.0)),
+            device_group=str(data.get("device_group", "")),
         )
 
     def describe(self) -> str:
@@ -102,6 +116,8 @@ class StageConfig:
             value = getattr(self, name)
             if value > 0:
                 parts.append(f"{name.upper()}={value:.2f}")
+        if self.device_group:
+            parts.append(f"@{self.device_group}")
         return " ".join(parts)
 
 
@@ -139,7 +155,8 @@ class TrainingPlan:
         """In-flight microbatches of stage ``stage_idx`` under 1F1B."""
         return min(self.gacc, self.num_stages - stage_idx)
 
-    def validate(self, model: ModelConfig, cluster: ClusterSpec) -> None:
+    def validate(self, model: ModelConfig,
+                 cluster: "ClusterSpec | HeterogeneousCluster") -> None:
         """Raise :class:`PlanValidationError` on any inconsistency."""
         if self.total_layers != model.num_layers:
             raise PlanValidationError(
@@ -158,20 +175,56 @@ class TrainingPlan:
                     f"stage {idx}: dp*b = {stage.samples_per_microbatch} but "
                     f"global_batch/gacc = {samples}"
                 )
-            if stage.tp > cluster.gpus_per_node:
-                raise PlanValidationError(
-                    f"stage {idx}: TP={stage.tp} exceeds node size "
-                    f"{cluster.gpus_per_node}"
-                )
             if model.hidden_size % stage.tp != 0:
                 raise PlanValidationError(
                     f"stage {idx}: TP={stage.tp} does not divide hidden size"
                 )
+        if isinstance(cluster, HeterogeneousCluster):
+            self._validate_groups(cluster)
+        else:
+            for idx, stage in enumerate(self.stages):
+                if stage.tp > cluster.gpus_per_node:
+                    raise PlanValidationError(
+                        f"stage {idx}: TP={stage.tp} exceeds node size "
+                        f"{cluster.gpus_per_node}"
+                    )
         if self.global_batch % self.gacc != 0:
             raise PlanValidationError(
                 f"global batch {self.global_batch} not divisible by "
                 f"G={self.gacc}"
             )
+
+    def _validate_groups(self, cluster: HeterogeneousCluster) -> None:
+        """Heterogeneous checks: group tags, contiguity, per-group GPUs."""
+        used: dict[str, int] = {}
+        order: list[str] = []
+        for idx, stage in enumerate(self.stages):
+            try:
+                group = cluster.group_for_stage(stage.device_group)
+            except KeyError as exc:
+                raise PlanValidationError(
+                    f"stage {idx}: {exc.args[0]}"
+                ) from None
+            if stage.tp > group.gpus_per_node:
+                raise PlanValidationError(
+                    f"stage {idx}: TP={stage.tp} exceeds node size "
+                    f"{group.gpus_per_node} of group {group.name!r}"
+                )
+            used[group.name] = used.get(group.name, 0) + stage.gpus
+            if not order or order[-1] != group.name:
+                order.append(group.name)
+        if len(order) != len(set(order)):
+            raise PlanValidationError(
+                f"stages of one device group must be contiguous, got "
+                f"group order {order}"
+            )
+        for group in cluster.groups:
+            if used.get(group.name, 0) != group.total_gpus:
+                raise PlanValidationError(
+                    f"group {group.name!r}: stages use "
+                    f"{used.get(group.name, 0)} GPUs, group has "
+                    f"{group.total_gpus}"
+                )
 
     def with_source(self, source: str) -> "TrainingPlan":
         return replace(self, source=source)

@@ -16,6 +16,21 @@ embarrassingly parallel (the paper parallelizes it across cores, §5.3 /
 Fig. 16): :meth:`MistTuner.search` fans the per-``(S, G)`` solves over a
 thread pool when ``parallelism > 1``, and merges results in enumeration
 order so the chosen plan is identical to the serial path.
+
+On a :class:`~repro.hardware.HeterogeneousCluster` the outer loop
+additionally enumerates stage -> device-group assignments
+(:func:`repro.core.inter_stage.group_stage_assignments`): each group
+gets its own traced cost model and
+:class:`~repro.core.analyzer.SymbolicPerformanceAnalyzer` bounded by
+that group's GPU memory, so a stage menu offered to the inter-stage
+MILP always respects the device that would host it. A single-group
+heterogeneous cluster is reduced to its plain
+:class:`~repro.hardware.ClusterSpec` and follows the homogeneous code
+path bit for bit.
+
+Deprecation: :meth:`MistTuner.tune` (the pre-registry entry point) has
+emitted :class:`DeprecationWarning` since v1.1 and will be removed in
+v2.0 — use :meth:`MistTuner.search` or :func:`repro.api.solve`.
 """
 
 from __future__ import annotations
@@ -23,18 +38,20 @@ from __future__ import annotations
 import os
 import time
 import warnings
+from collections.abc import Mapping
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.costmodel.interference import InterferenceModel
-from repro.hardware import ClusterSpec
+from repro.hardware import ClusterSpec, HeterogeneousCluster
 from repro.models.config import ModelConfig
 from repro.tracing import trace
 
 from . import inter_stage
 from .analyzer import SymbolicPerformanceAnalyzer
+from .inter_stage import StageSlot, group_stage_assignments
 from .intra_stage import IntraStageTuner, StageShape
 from .objectives import throughput
 from .plan import TrainingPlan
@@ -66,25 +83,65 @@ class TuningResult:
 
 
 class MistTuner:
-    """Memory-, overlap- and imbalance-aware automatic tuner."""
+    """Memory-, overlap- and imbalance-aware automatic tuner.
 
-    def __init__(self, model: ModelConfig, cluster: ClusterSpec, *,
+    ``cluster`` may be a homogeneous :class:`ClusterSpec` or a
+    :class:`~repro.hardware.HeterogeneousCluster`. ``interference``
+    accepts a single :class:`InterferenceModel` (applied everywhere), a
+    mapping from device-group name to model (heterogeneous clusters),
+    or ``None`` for each device's default.
+    """
+
+    def __init__(self, model: ModelConfig,
+                 cluster: "ClusterSpec | HeterogeneousCluster", *,
                  seq_len: int, flash: bool = True,
                  space: SearchSpace = SPACE_MIST,
-                 interference: InterferenceModel | None = None,
+                 interference: "InterferenceModel | Mapping | None" = None,
                  max_pareto_points: int = 8,
                  max_gacc_candidates: int | None = None):
         self.model = model
+        if isinstance(cluster, HeterogeneousCluster) and cluster.is_homogeneous:
+            # one group == a plain cluster; take the (identical) fast path
+            cluster = cluster.groups[0].cluster
         self.cluster = cluster
+        self.hetero = (cluster if isinstance(cluster, HeterogeneousCluster)
+                       else None)
         self.seq_len = seq_len
         self.flash = flash
         self.space = space
-        traced = trace(model, cluster.gpu, flash=flash)
-        self.analyzer = SymbolicPerformanceAnalyzer(
-            traced, cluster, interference=interference
-        )
+        if self.hetero is None:
+            traced = trace(model, cluster.gpu, flash=flash)
+            self.analyzer = SymbolicPerformanceAnalyzer(
+                traced, cluster,
+                interference=self._group_interference(interference, ""),
+            )
+            self.analyzers = {"": self.analyzer}
+        else:
+            self.analyzers = {}
+            for group in self.hetero.groups:
+                traced = trace(model, group.gpu, flash=flash)
+                self.analyzers[group.name] = SymbolicPerformanceAnalyzer(
+                    traced, group.cluster,
+                    interference=self._group_interference(interference,
+                                                          group.name),
+                    gpu=group.gpu,
+                )
+            # convenience alias: the first group's analyzer
+            self.analyzer = self.analyzers[self.hetero.groups[0].name]
         self.max_pareto_points = max_pareto_points
         self.max_gacc_candidates = max_gacc_candidates
+
+    @staticmethod
+    def _group_interference(interference, group_name: str):
+        """Resolve the interference model for one device group."""
+        if interference is None or isinstance(interference, InterferenceModel):
+            return interference
+        if isinstance(interference, Mapping):
+            return interference.get(group_name)
+        raise TypeError(
+            "interference must be an InterferenceModel, a mapping from "
+            f"device-group name to model, or None; got {type(interference)}"
+        )
 
     # -- candidate enumeration ---------------------------------------------
 
@@ -117,25 +174,46 @@ class MistTuner:
             out = [out[i] for i in idx]
         return out
 
-    def _layer_counts(self, num_stages: int) -> list[int]:
+    def _layer_counts(self, num_stages: int, *,
+                      slack: int | None = None) -> list[int]:
         """Candidate per-stage layer counts around the balanced split."""
         total = self.model.num_layers
         base = total / num_stages
-        slack = self.space.layer_slack
+        if slack is None:
+            slack = self.space.layer_slack
         lo = max(1, int(np.floor(base)) - slack)
         hi = min(total - (num_stages - 1), int(np.ceil(base)) + slack)
         return list(range(lo, hi + 1))
 
     # -- main loop ------------------------------------------------------------
 
-    def _sg_grid(self, global_batch: int) -> list[tuple[int, int, int, list[int]]]:
-        """The outer (S, G) grid: (num_stages, stage_gpus, gacc, layers)."""
+    def _sg_grid(self, global_batch: int) -> list[tuple]:
+        """The outer grid: (num_stages, stage_gpus, gacc, layers, groups).
+
+        Homogeneous clusters enumerate pipeline depths with equal-size
+        stages (``groups is None``); heterogeneous clusters enumerate
+        stage -> device-group assignments, where ``stage_gpus`` varies
+        per stage and lives inside the assignment.
+        """
         grid = []
+        if self.hetero is not None:
+            # mixed memory capacities want more skew than the balanced
+            # split allows, so widen the per-stage layer slack by one
+            slack = self.space.layer_slack + 1
+            for assignment in group_stage_assignments(
+                    self.hetero, self.model.num_layers):
+                num_stages = len(assignment)
+                layer_counts = self._layer_counts(num_stages, slack=slack)
+                for gacc in self._gacc_candidates(global_batch, num_stages):
+                    grid.append((num_stages, None, gacc, layer_counts,
+                                 assignment))
+            return grid
         for num_stages in self._stage_counts():
             stage_gpus = self.cluster.total_gpus // num_stages
             layer_counts = self._layer_counts(num_stages)
             for gacc in self._gacc_candidates(global_batch, num_stages):
-                grid.append((num_stages, stage_gpus, gacc, layer_counts))
+                grid.append((num_stages, stage_gpus, gacc, layer_counts,
+                             None))
         return grid
 
     def search(self, global_batch: int, *, parallelism: int = 1,
@@ -164,8 +242,8 @@ class MistTuner:
         candidates: list[tuple[float, TrainingPlan]] = []
         evaluated = 0
         search_log: list[dict] = []
-        for (num_stages, _, gacc, _), (solution, n_evaluated) in zip(
-                grid, solutions):
+        for (num_stages, _, gacc, _, assignment), (solution, n_evaluated) \
+                in zip(grid, solutions):
             evaluated += n_evaluated
             # infeasible cells log None, not inf — search logs must stay
             # strictly JSON-serializable (SolveReport round-trip contract)
@@ -174,6 +252,8 @@ class MistTuner:
                 "gacc": gacc,
                 "objective": float(solution.objective) if solution else None,
             }
+            if assignment is not None:
+                entry["groups"] = [slot.group for slot in assignment]
             search_log.append(entry)
             if verbose:  # pragma: no cover - console aid
                 obj = entry["objective"]
@@ -210,10 +290,17 @@ class MistTuner:
 
     def tune(self, global_batch: int, *, verbose: bool = False,
              keep_top: int = 3) -> TuningResult:
-        """Deprecated alias for :meth:`search` (serial path)."""
+        """Deprecated alias for :meth:`search` (serial path).
+
+        Deprecated since v1.1 (the ``repro.api`` registry redesign);
+        scheduled for removal in v2.0. Call :meth:`search` or go
+        through :func:`repro.api.solve` — see the deprecation policy in
+        ``docs/API.md``.
+        """
         warnings.warn(
-            "MistTuner.tune() is deprecated; use MistTuner.search() or the "
-            "repro.api solver registry (repro.api.solve).",
+            "MistTuner.tune() is deprecated since v1.1 and will be removed "
+            "in v2.0; use MistTuner.search() or the repro.api solver "
+            "registry (repro.api.solve).",
             DeprecationWarning, stacklevel=2,
         )
         return self.search(global_batch, verbose=verbose, keep_top=keep_top)
@@ -222,14 +309,20 @@ class MistTuner:
 
     def _tune_pipeline(self, global_batch: int, num_stages: int,
                        stage_gpus: int, gacc: int,
-                       layer_counts: list[int]):
+                       layer_counts: list[int],
+                       assignment: "tuple[StageSlot, ...] | None" = None):
         """Solve one (S, G) candidate.
 
         Returns ``(solution, evaluated)`` where ``evaluated`` is the
         number of configurations the intra-stage tuner scored — each
-        call owns a fresh :class:`IntraStageTuner`, so the method is
-        safe to run concurrently across (S, G) candidates.
+        call owns fresh :class:`IntraStageTuner`\\ s, so the method is
+        safe to run concurrently across (S, G) candidates. With an
+        ``assignment`` (heterogeneous clusters) each stage is tuned by
+        its device group's analyzer.
         """
+        if assignment is not None:
+            return self._tune_pipeline_hetero(global_batch, gacc,
+                                              layer_counts, assignment)
         intra = IntraStageTuner(
             self.analyzer, self.space, global_batch=global_batch,
             seq_len=self.seq_len, max_pareto_points=self.max_pareto_points,
@@ -263,3 +356,54 @@ class MistTuner:
             imbalance_aware=self.space.imbalance_aware,
         )
         return solution, intra.evaluated
+
+    def _tune_pipeline_hetero(self, global_batch: int, gacc: int,
+                              layer_counts: list[int],
+                              assignment: "tuple[StageSlot, ...]"):
+        """Solve one heterogeneous (assignment, G) candidate.
+
+        Stage menus come from the analyzer of the stage's device group,
+        so every Pareto point is priced with that group's cost model
+        and filtered against that group's memory budget; stages
+        adjacent to a group boundary additionally price pipeline p2p
+        over the inter-group link (the same clamp the execution engine
+        applies). Stage positions sharing (group, gpus, inflight, pre,
+        post, boundary) share menus, mirroring the homogeneous cache.
+        """
+        num_stages = len(assignment)
+        intra = {
+            name: IntraStageTuner(
+                self.analyzers[name], self.space, global_batch=global_batch,
+                seq_len=self.seq_len,
+                max_pareto_points=self.max_pareto_points,
+            )
+            for name in {slot.group for slot in assignment}
+        }
+        boundary = [False] * num_stages
+        for i in range(num_stages - 1):
+            if assignment[i].group != assignment[i + 1].group:
+                boundary[i] = boundary[i + 1] = True
+        menus = []
+        cache: dict[tuple, dict] = {}
+        for idx, slot in enumerate(assignment):
+            inflight = min(gacc, num_stages - idx)
+            key = (slot.group, slot.stage_gpus, inflight,
+                   idx == 0, idx == num_stages - 1, boundary[idx])
+            if key not in cache:
+                shape = StageShape(
+                    stage_gpus=slot.stage_gpus, gacc=gacc, inflight=inflight,
+                    has_pre=key[3], has_post=key[4], group=slot.group,
+                    p2p_bandwidth_cap=(self.hetero.inter_group_bandwidth
+                                       if boundary[idx] else None),
+                    p2p_latency_floor=(self.hetero.inter_group_latency
+                                       if boundary[idx] else None),
+                )
+                counts = (layer_counts if num_stages > 1
+                          else [self.model.num_layers])
+                cache[key] = intra[slot.group].tune(shape, counts)
+            menus.append(cache[key])
+        solution = inter_stage.solve(
+            menus, self.model.num_layers, gacc,
+            imbalance_aware=self.space.imbalance_aware,
+        )
+        return solution, sum(t.evaluated for t in intra.values())

@@ -17,6 +17,7 @@ from .workloads import (
     current_scale,
     get_scale,
     gpu_count_for_size,
+    mixed_workload,
     paper_workloads,
     scale_from_dict,
     scale_ref,
@@ -38,6 +39,7 @@ __all__ = [
     "format_throughput_rows",
     "get_scale",
     "gpu_count_for_size",
+    "mixed_workload",
     "paper_workloads",
     "run_baseline",
     "run_mist",

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.plan import StageConfig, TrainingPlan
-from repro.hardware import ClusterSpec
+from repro.hardware import ClusterSpec, HeterogeneousCluster
 from repro.models.config import ModelConfig
 from repro.symbolic import compile_expr
 from repro.tracing import ALL_SYMBOLS, TracedModel, trace
@@ -84,36 +84,61 @@ def _quantize(ratio: float, layers: int) -> float:
 
 
 class ExecutionEngine:
-    """Simulated cluster executor for training plans."""
+    """Simulated cluster executor for training plans.
 
-    def __init__(self, cluster: ClusterSpec, *, system: str = "mist",
+    Accepts a homogeneous :class:`ClusterSpec` or a
+    :class:`~repro.hardware.HeterogeneousCluster`; on the latter every
+    stage executes on its :attr:`StageConfig.device_group`'s devices —
+    memory is checked against that group's GPU, kernels are priced with
+    its operator database, and activations crossing a group boundary
+    ride the (usually slower) inter-group link.
+    """
+
+    def __init__(self, cluster: "ClusterSpec | HeterogeneousCluster", *,
+                 system: str = "mist",
                  contention: ContentionSpec | None = None):
         if system not in SCHEDULES:
             raise ValueError(
                 f"unknown system {system!r}; known: {sorted(SCHEDULES)}"
             )
+        if isinstance(cluster, HeterogeneousCluster) and cluster.is_homogeneous:
+            cluster = cluster.groups[0].cluster
         self.cluster = cluster
+        self.hetero = (cluster if isinstance(cluster, HeterogeneousCluster)
+                       else None)
         self.system = system
         self.capability: OverlapCapability = SCHEDULES[system]
+        if self.hetero is None:
+            pcie_only = not cluster.gpu.has_nvlink
+        else:
+            # conservative: contention factors of the weakest fabric
+            pcie_only = any(not g.gpu.has_nvlink for g in self.hetero.groups)
         self.contention = contention or ContentionSpec.default(
-            pcie_only=not cluster.gpu.has_nvlink
+            pcie_only=pcie_only
         )
-        self._traced_cache: dict[tuple[str, bool], TracedModel] = {}
-        self._fn_cache: dict[tuple[str, bool], object] = {}
+        self._traced_cache: dict[tuple[str, bool, str], TracedModel] = {}
+        self._fn_cache: dict[tuple[str, bool, str], object] = {}
 
     # -- caches -----------------------------------------------------------
 
-    def _traced(self, model: ModelConfig, flash: bool) -> TracedModel:
-        key = (model.name, flash)
+    def _stage_cluster(self, stage: StageConfig) -> ClusterSpec:
+        """The homogeneous (sub-)cluster executing ``stage``."""
+        if self.hetero is None:
+            return self.cluster
+        return self.hetero.group_for_stage(stage.device_group).cluster
+
+    def _traced(self, model: ModelConfig, flash: bool,
+                cluster: ClusterSpec) -> TracedModel:
+        key = (model.name, flash, cluster.gpu.name)
         if key not in self._traced_cache:
-            self._traced_cache[key] = trace(model, self.cluster.gpu,
-                                            flash=flash)
+            self._traced_cache[key] = trace(model, cluster.gpu, flash=flash)
         return self._traced_cache[key]
 
-    def _components_fn(self, model: ModelConfig, flash: bool):
-        key = (model.name, flash)
+    def _components_fn(self, model: ModelConfig, flash: bool,
+                       cluster: ClusterSpec):
+        key = (model.name, flash, cluster.gpu.name)
         if key not in self._fn_cache:
-            rt = self._traced(model, flash).runtime
+            rt = self._traced(model, flash, cluster).runtime
             exprs = [getattr(rt, name) for name in _COMPONENT_FIELDS]
             self._fn_cache[key] = compile_expr(exprs, arg_names=_ARG_NAMES)
         return self._fn_cache[key]
@@ -125,8 +150,6 @@ class ExecutionEngine:
         """Execute one iteration; raises :class:`OOMError` if a stage
         exceeds device memory (like the real cluster would)."""
         plan.validate(model, self.cluster)
-        traced = self._traced(model, flash)
-        fn = self._components_fn(model, flash)
 
         num_stages = plan.num_stages
         gacc = plan.gacc
@@ -134,10 +157,14 @@ class ExecutionEngine:
         fwd_times: list[list[float]] = []
         bwd_times: list[list[float]] = []
         max_p2p_lat = 0.0
+        boundary = self._group_boundaries(plan)
 
         for idx, stage in enumerate(plan.stages):
+            gcluster = self._stage_cluster(stage)
+            traced = self._traced(model, flash, gcluster)
+            fn = self._components_fn(model, flash, gcluster)
             report = track_stage_memory(
-                traced.graph, self.cluster.gpu, stage,
+                traced.graph, gcluster.gpu, stage,
                 stage_idx=idx, num_stages=num_stages,
                 inflight=plan.inflight(idx), seq_len=seq_len,
                 runtime_overhead_bytes=self.capability.extra_memory_bytes,
@@ -146,7 +173,8 @@ class ExecutionEngine:
             if check_memory and not report.fits:
                 raise OOMError(idx, report.peak, report.capacity)
 
-            env = self._stage_env(plan, idx, stage, seq_len)
+            env = self._stage_env(plan, idx, stage, seq_len, gcluster,
+                                  crosses_groups=boundary[idx])
             values = [float(np.asarray(v).reshape(-1)[0]) for v in fn(**env)]
             comp = dict(zip(_COMPONENT_FIELDS, values))
 
@@ -193,8 +221,21 @@ class ExecutionEngine:
 
     # -- helpers ----------------------------------------------------------------
 
+    def _group_boundaries(self, plan: TrainingPlan) -> list[bool]:
+        """Per stage: does its pipeline p2p cross a device-group edge?"""
+        flags = [False] * plan.num_stages
+        if self.hetero is None:
+            return flags
+        for i in range(plan.num_stages - 1):
+            if (plan.stages[i].device_group
+                    != plan.stages[i + 1].device_group):
+                flags[i] = flags[i + 1] = True
+        return flags
+
     def _stage_env(self, plan: TrainingPlan, idx: int, stage: StageConfig,
-                   seq_len: int) -> dict:
+                   seq_len: int, cluster: ClusterSpec | None = None, *,
+                   crosses_groups: bool = False) -> dict:
+        cluster = cluster if cluster is not None else self.cluster
         z1, z2, z3 = stage.zero_flags
         env = {
             "b": stage.microbatch, "s": seq_len,
@@ -210,5 +251,12 @@ class ExecutionEngine:
             "has_pre": int(idx == 0),
             "has_post": int(idx == plan.num_stages - 1),
         }
-        env.update(hardware_env(self.cluster, stage.dp, stage.tp))
+        env.update(hardware_env(cluster, stage.dp, stage.tp))
+        if crosses_groups and self.hetero is not None:
+            # activations to/from an adjacent stage on another device
+            # group ride the inter-group link
+            env["p2p_bw"] = np.minimum(env["p2p_bw"],
+                                       self.hetero.inter_group_bandwidth)
+            env["p2p_lat"] = np.maximum(env["p2p_lat"],
+                                        self.hetero.inter_group_latency)
         return env

@@ -1,7 +1,22 @@
-"""Hardware model: GPU specs and cluster topology (paper Table 3)."""
+"""Hardware model: GPU specs and cluster topology (paper Table 3).
+
+Homogeneous clusters are :class:`ClusterSpec`; mixed fleets (e.g.
+A100 + L4) are :class:`HeterogeneousCluster` — ordered, named
+:class:`DeviceGroup`\\ s joined by an inter-group link. Both serialize
+through :func:`cluster_to_dict` / :func:`cluster_from_dict`.
+"""
 
 from .gpu import GPU_REGISTRY, GiB, GPUSpec, get_gpu
-from .topology import ClusterSpec, CommGroup, make_cluster
+from .topology import (
+    ClusterSpec,
+    CommGroup,
+    DeviceGroup,
+    HeterogeneousCluster,
+    cluster_from_dict,
+    cluster_to_dict,
+    load_cluster,
+    make_cluster,
+)
 
 __all__ = [
     "GPU_REGISTRY",
@@ -9,6 +24,11 @@ __all__ = [
     "GiB",
     "ClusterSpec",
     "CommGroup",
+    "DeviceGroup",
+    "HeterogeneousCluster",
+    "cluster_from_dict",
+    "cluster_to_dict",
     "get_gpu",
+    "load_cluster",
     "make_cluster",
 ]

@@ -48,6 +48,11 @@ class GPUSpec:
         return int(self.memory_bytes * self.usable_memory_fraction)
 
     @property
+    def memory_gb(self) -> float:
+        """Device memory in GiB (convenience for reports and docs)."""
+        return self.memory_bytes / GiB
+
+    @property
     def has_nvlink(self) -> bool:
         return self.nvlink_bandwidth is not None
 

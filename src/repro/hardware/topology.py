@@ -9,15 +9,36 @@ placement, which both the paper and all baselines assume).
 :class:`CommGroup` captures what the communication cost model needs to
 price a collective: group size, how many nodes it spans, and the
 per-rank bottleneck bandwidth.
+
+Mixed fleets are modelled by :class:`HeterogeneousCluster`: an ordered
+sequence of named :class:`DeviceGroup`\\ s, each a homogeneous
+sub-cluster with its own :class:`~repro.hardware.gpu.GPUSpec` and
+network, linked by an inter-group bandwidth the pipeline crosses when
+adjacent stages live on different groups. A one-group heterogeneous
+cluster is equivalent to its plain :class:`ClusterSpec`.
+
+Both cluster kinds serialize to plain dicts (:func:`cluster_to_dict` /
+:func:`cluster_from_dict`) — the schema behind ``TuningJob.cluster``
+and the CLI's ``--cluster file.json`` (see ``docs/API.md``).
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 
 from .gpu import GPUSpec, get_gpu
 
-__all__ = ["ClusterSpec", "CommGroup", "make_cluster"]
+__all__ = [
+    "ClusterSpec",
+    "CommGroup",
+    "DeviceGroup",
+    "HeterogeneousCluster",
+    "cluster_from_dict",
+    "cluster_to_dict",
+    "load_cluster",
+    "make_cluster",
+]
 
 
 @dataclass(frozen=True)
@@ -168,17 +189,311 @@ class ClusterSpec:
 def make_cluster(gpu_name: str, num_nodes: int, gpus_per_node: int) -> ClusterSpec:
     """Convenience constructor with Table 3 network defaults per GPU type."""
     gpu = get_gpu(gpu_name)
-    if gpu.name == "L4":
-        inter_bw = 100e9 / 8  # 100 Gbps
-    elif gpu.name.startswith("A100"):
-        inter_bw = 400e9 / 8  # 400 Gbps
-    elif gpu.name.startswith("H100"):
-        inter_bw = 3200e9 / 8
-    else:
-        inter_bw = 100e9 / 8
     return ClusterSpec(
         gpu=gpu,
         num_nodes=num_nodes,
         gpus_per_node=gpus_per_node,
-        inter_node_bandwidth=inter_bw,
+        inter_node_bandwidth=_default_network_bandwidth(gpu),
     )
+
+
+def _default_network_bandwidth(gpu: GPUSpec) -> float:
+    """Table 3 per-node network defaults by GPU type (bytes/s)."""
+    if gpu.name.startswith("A100"):
+        return 400e9 / 8  # 400 Gbps
+    if gpu.name.startswith("H100"):
+        return 3200e9 / 8
+    return 100e9 / 8  # L4 nodes and anything unlisted: 100 Gbps
+
+
+# -- heterogeneous clusters ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeviceGroup:
+    """A named homogeneous slice of a mixed fleet.
+
+    The group behaves as its own :class:`ClusterSpec`: pipeline stages
+    placed on the group form ``DP x TP`` grids inside it, collectives
+    are priced with its fabric, and its GPU's memory bounds the stages
+    it hosts.
+    """
+
+    name: str
+    cluster: ClusterSpec
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("device group needs a non-empty name")
+
+    @property
+    def gpu(self) -> GPUSpec:
+        return self.cluster.gpu
+
+    @property
+    def total_gpus(self) -> int:
+        return self.cluster.total_gpus
+
+    @property
+    def num_nodes(self) -> int:
+        return self.cluster.num_nodes
+
+    @property
+    def gpus_per_node(self) -> int:
+        return self.cluster.gpus_per_node
+
+    def describe(self) -> str:
+        gpu = self.gpu
+        fabric = (f"NVLink {gpu.nvlink_bandwidth / 1e9:.0f} GB/s"
+                  if gpu.has_nvlink else "PCIe only")
+        net = self.cluster.inter_node_bandwidth * 8 / 1e9
+        return (f"{self.name}: {self.num_nodes} node(s) x "
+                f"{self.gpus_per_node} x {gpu.name}  "
+                f"mem {gpu.memory_gb:.0f} GB  {fabric}  net {net:.0f} Gbps")
+
+
+@dataclass(frozen=True)
+class HeterogeneousCluster:
+    """An ordered mixed fleet: pipeline flows through groups in order.
+
+    Stage placement is per *group* (the paper's contiguous-range rule
+    applied within each homogeneous slice): every pipeline stage is
+    assigned to exactly one group, stages on the same group are
+    contiguous, and activations crossing a group boundary travel over
+    ``inter_group_bandwidth``.
+    """
+
+    groups: tuple[DeviceGroup, ...]
+    #: bandwidth of the link between device groups (bytes/s); mixed
+    #: fleets are typically joined by the slower datacenter network
+    inter_group_bandwidth: float = 100e9 / 8
+    #: one-way latency across the inter-group link, seconds
+    inter_group_latency: float = 25.0e-6
+
+    def __post_init__(self):
+        object.__setattr__(self, "groups", tuple(self.groups))
+        if not self.groups:
+            raise ValueError("heterogeneous cluster needs at least one group")
+        names = [g.name for g in self.groups]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate device-group names: {names}")
+        if self.inter_group_bandwidth <= 0:
+            raise ValueError("inter_group_bandwidth must be > 0")
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(g.total_gpus for g in self.groups)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when a single group makes this a plain cluster."""
+        return len(self.groups) == 1
+
+    @property
+    def name(self) -> str:
+        return "+".join(f"{g.total_gpus}x{g.gpu.name}" for g in self.groups)
+
+    @property
+    def group_names(self) -> tuple[str, ...]:
+        return tuple(g.name for g in self.groups)
+
+    def group_named(self, name: str) -> DeviceGroup:
+        for group in self.groups:
+            if group.name == name:
+                return group
+        raise KeyError(
+            f"unknown device group {name!r}; known: {list(self.group_names)}"
+        )
+
+    def group_for_stage(self, device_group: str) -> DeviceGroup:
+        """Resolve a stage's group tag; '' is allowed only when unambiguous."""
+        if not device_group:
+            if self.is_homogeneous:
+                return self.groups[0]
+            raise KeyError(
+                "stage has no device_group tag but the cluster has "
+                f"{len(self.groups)} groups {list(self.group_names)}"
+            )
+        return self.group_named(device_group)
+
+    # -- worst-case homogeneous view (baseline fallback) -----------------
+
+    def worst_gpu(self) -> GPUSpec:
+        """The most constrained device (min memory, then min FLOPs)."""
+        return min((g.gpu for g in self.groups),
+                   key=lambda gpu: (gpu.memory_bytes, gpu.peak_fp16_flops))
+
+    def fallback_homogeneous(self) -> ClusterSpec:
+        """Conservative homogeneous view for solvers without heterogeneity.
+
+        Every GPU is treated as the worst one and every link as the
+        slowest one, so a plan feasible here is feasible on the real
+        fleet — at the cost of under-using the larger devices.
+        """
+        gpu = self.worst_gpu()
+        per_node = min(g.gpus_per_node for g in self.groups)
+        total = self.total_gpus
+        if total % per_node != 0:
+            per_node = 1
+        return ClusterSpec(
+            gpu=gpu,
+            num_nodes=total // per_node,
+            gpus_per_node=per_node,
+            inter_node_bandwidth=min(
+                min(g.cluster.inter_node_bandwidth for g in self.groups),
+                self.inter_group_bandwidth,
+            ),
+            inter_node_latency=max(
+                max(g.cluster.inter_node_latency for g in self.groups),
+                self.inter_group_latency,
+            ),
+            intra_node_latency=max(
+                g.cluster.intra_node_latency for g in self.groups
+            ),
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"heterogeneous cluster: {self.total_gpus} GPUs in "
+            f"{len(self.groups)} group(s)"
+        ]
+        for group in self.groups:
+            lines.append(f"  {group.describe()}")
+        if not self.is_homogeneous:
+            lines.append(
+                f"  inter-group link: "
+                f"{self.inter_group_bandwidth * 8 / 1e9:.0f} Gbps, "
+                f"{self.inter_group_latency * 1e6:.1f} us"
+            )
+        return "\n".join(lines)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return cluster_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HeterogeneousCluster":
+        cluster = cluster_from_dict(data)
+        if isinstance(cluster, ClusterSpec):
+            cluster = HeterogeneousCluster(
+                groups=(DeviceGroup(name=cluster.gpu.name.lower(),
+                                    cluster=cluster),)
+            )
+        return cluster
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+
+# -- cluster (de)serialization ---------------------------------------------
+
+_GBPS = 1e9 / 8  # Gbit/s -> bytes/s
+
+
+def _read_bandwidth(data: dict, key: str, default: float) -> float:
+    """Accept ``<key>`` in bytes/s or ``<key>_gbps`` in Gbit/s."""
+    if key in data and f"{key}_gbps" in data:
+        raise ValueError(f"give either {key!r} or '{key}_gbps', not both")
+    if f"{key}_gbps" in data:
+        return float(data[f"{key}_gbps"]) * _GBPS
+    return float(data.get(key, default))
+
+
+def _read_latency(data: dict, key: str, default: float) -> float:
+    """Accept ``<key>`` in seconds or ``<key>_us`` in microseconds."""
+    if key in data and f"{key}_us" in data:
+        raise ValueError(f"give either {key!r} or '{key}_us', not both")
+    if f"{key}_us" in data:
+        return float(data[f"{key}_us"]) * 1e-6
+    return float(data.get(key, default))
+
+
+def _homogeneous_from_dict(data: dict) -> ClusterSpec:
+    gpu = get_gpu(data["gpu"])
+    spec = ClusterSpec(
+        gpu=gpu,
+        num_nodes=int(data.get("num_nodes", 1)),
+        gpus_per_node=int(data["gpus_per_node"]),
+        inter_node_bandwidth=_read_bandwidth(
+            data, "inter_node_bandwidth", _default_network_bandwidth(gpu)),
+        inter_node_latency=_read_latency(
+            data, "inter_node_latency", ClusterSpec.inter_node_latency),
+        intra_node_latency=_read_latency(
+            data, "intra_node_latency", ClusterSpec.intra_node_latency),
+    )
+    return spec
+
+
+def cluster_from_dict(data: dict) -> "ClusterSpec | HeterogeneousCluster":
+    """Parse the cluster schema (see ``docs/API.md``).
+
+    A dict with a ``groups`` list parses to a
+    :class:`HeterogeneousCluster`; a flat
+    ``{"gpu", "num_nodes", "gpus_per_node"}`` dict parses to a plain
+    :class:`ClusterSpec`. GPUs are referenced by registry name
+    (:data:`repro.hardware.gpu.GPU_REGISTRY`); bandwidths accept either
+    bytes/s or human-friendly ``*_gbps`` keys.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"cluster description must be a JSON object, got "
+            f"{type(data).__name__}"
+        )
+    if "groups" not in data:
+        return _homogeneous_from_dict(data)
+    if not isinstance(data["groups"], list):
+        raise ValueError("'groups' must be a list of group objects")
+    groups = []
+    for entry in data["groups"]:
+        if not isinstance(entry, dict):
+            raise ValueError(
+                f"each cluster group must be a JSON object, got "
+                f"{type(entry).__name__}"
+            )
+        name = entry.get("name") or entry["gpu"].lower()
+        groups.append(DeviceGroup(
+            name=str(name), cluster=_homogeneous_from_dict(entry)))
+    hetero = HeterogeneousCluster(
+        groups=tuple(groups),
+        inter_group_bandwidth=_read_bandwidth(
+            data, "inter_group_bandwidth",
+            HeterogeneousCluster.inter_group_bandwidth),
+        inter_group_latency=_read_latency(
+            data, "inter_group_latency",
+            HeterogeneousCluster.inter_group_latency),
+    )
+    if hetero.is_homogeneous:
+        return hetero.groups[0].cluster
+    return hetero
+
+
+def _homogeneous_to_dict(spec: ClusterSpec) -> dict:
+    return {
+        "gpu": spec.gpu.name,
+        "num_nodes": spec.num_nodes,
+        "gpus_per_node": spec.gpus_per_node,
+        "inter_node_bandwidth": spec.inter_node_bandwidth,
+        "inter_node_latency": spec.inter_node_latency,
+        "intra_node_latency": spec.intra_node_latency,
+    }
+
+
+def cluster_to_dict(cluster: "ClusterSpec | HeterogeneousCluster") -> dict:
+    """Inverse of :func:`cluster_from_dict` (GPU referenced by name)."""
+    if isinstance(cluster, ClusterSpec):
+        return _homogeneous_to_dict(cluster)
+    return {
+        "groups": [
+            dict(_homogeneous_to_dict(g.cluster), name=g.name)
+            for g in cluster.groups
+        ],
+        "inter_group_bandwidth": cluster.inter_group_bandwidth,
+        "inter_group_latency": cluster.inter_group_latency,
+    }
+
+
+def load_cluster(path) -> "ClusterSpec | HeterogeneousCluster":
+    """Read a cluster description from a JSON file."""
+    with open(path) as fh:
+        return cluster_from_dict(json.load(fh))

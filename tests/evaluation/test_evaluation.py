@@ -46,6 +46,36 @@ class TestWorkloads:
         assert a.name != b.name
 
 
+class TestMixedWorkloads:
+    MIXED = {"groups": [
+        {"name": "a100", "gpu": "A100-40GB", "num_nodes": 1,
+         "gpus_per_node": 2},
+        {"name": "l4", "gpu": "L4", "num_nodes": 1, "gpus_per_node": 2},
+    ]}
+
+    def test_mixed_workload_derives_shape(self):
+        from repro.evaluation.workloads import mixed_workload
+        from repro.hardware import HeterogeneousCluster
+
+        spec = mixed_workload(self.MIXED, "gpt3-1.3b", 16)
+        assert spec.num_gpus == 4
+        assert isinstance(spec.cluster, HeterogeneousCluster)
+        assert "2xA100-40GB+2xL4" in spec.name
+
+    def test_mixed_workload_to_job(self):
+        from repro.api import TuningJob
+        from repro.evaluation.workloads import mixed_workload
+
+        spec = mixed_workload(self.MIXED, "gpt3-1.3b", 16)
+        job = TuningJob.from_workload(spec, scale="smoke")
+        assert job.cluster == spec.cluster_dict
+        assert job.num_gpus == 4
+
+    def test_plain_workloads_have_no_cluster_dict(self):
+        spec = paper_workloads("L4")[0]
+        assert spec.cluster_dict is None
+
+
 class TestRunner:
     SPEC = WorkloadSpec("gpt3-1.3b", "L4", 2, 16, 2048)
 

@@ -1,8 +1,14 @@
 """Tests for the command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+MIXED_FILE = str(EXAMPLES / "mixed_a100_l4.json")
 
 
 class TestParser:
@@ -139,6 +145,117 @@ class TestTune:
         ])
         assert code == 2
         assert "unknown solver" in capsys.readouterr().out
+
+
+class TestClusterCommand:
+    def test_inspect_mixed_cluster(self, capsys):
+        assert main(["cluster", MIXED_FILE]) == 0
+        out = capsys.readouterr().out
+        assert "heterogeneous cluster: 8 GPUs in 2 group(s)" in out
+        assert "A100-40GB" in out and "L4" in out
+        assert "tuner memory budget" in out
+        assert "baseline fallback view" in out
+
+    def test_inspect_json_output(self, capsys):
+        assert main(["cluster", MIXED_FILE, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["groups"]) == 2
+
+    def test_inspect_homogeneous_file(self, capsys, tmp_path):
+        path = tmp_path / "homo.json"
+        path.write_text(json.dumps(
+            {"gpu": "L4", "num_nodes": 1, "gpus_per_node": 4}))
+        assert main(["cluster", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "homogeneous cluster" in out
+        assert "4 GPUs" in out
+
+    def test_missing_file_clean_error(self, capsys):
+        assert main(["cluster", "/no/such/file.json"]) == 2
+        assert "invalid cluster file" in capsys.readouterr().out
+
+    def test_bad_schema_clean_error(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"gpu": "no-such-gpu",
+                                    "gpus_per_node": 4}))
+        assert main(["cluster", str(path)]) == 2
+        assert "invalid cluster file" in capsys.readouterr().out
+
+    def test_non_object_json_clean_error(self, capsys, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        assert main(["cluster", str(path)]) == 2
+        assert "invalid cluster file" in capsys.readouterr().out
+        assert main(["tune", "--model", "gpt3-1.3b", "--global-batch",
+                     "8", "--cluster", str(path), "--scale", "smoke"]) == 2
+        assert "invalid job" in capsys.readouterr().out
+
+
+class TestTuneCluster:
+    def _mixed_small(self, tmp_path) -> str:
+        path = tmp_path / "mixed.json"
+        path.write_text(json.dumps({"groups": [
+            {"name": "a100", "gpu": "A100-40GB", "num_nodes": 1,
+             "gpus_per_node": 2},
+            {"name": "l4", "gpu": "L4", "num_nodes": 1,
+             "gpus_per_node": 2},
+        ]}))
+        return str(path)
+
+    def test_tune_heterogeneous_cluster(self, capsys, tmp_path):
+        out_file = tmp_path / "report.json"
+        code = main([
+            "tune", "--model", "gpt3-1.3b", "--global-batch", "16",
+            "--cluster", self._mixed_small(tmp_path),
+            "--scale", "smoke", "--json", str(out_file),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2xA100-40GB+2xL4" in out
+        assert "@a100" in out and "@l4" in out
+        payload = json.loads(out_file.read_text())
+        groups = {s.get("device_group") for s in payload["plan"]["stages"]}
+        assert groups == {"a100", "l4"}
+
+    def test_homogeneous_cluster_file_matches_flag_path(self, capsys,
+                                                        tmp_path):
+        homo = tmp_path / "homo.json"
+        homo.write_text(json.dumps(
+            {"gpu": "L4", "num_nodes": 1, "gpus_per_node": 2}))
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["tune", "--model", "gpt3-1.3b", "--global-batch", "8",
+                     "--cluster", str(homo), "--scale", "smoke",
+                     "--json", str(a)]) == 0
+        assert main(["tune", "--model", "gpt3-1.3b", "--gpu", "L4",
+                     "--gpus", "2", "--global-batch", "8",
+                     "--scale", "smoke", "--json", str(b)]) == 0
+        plan_a = json.loads(a.read_text())["plan"]
+        plan_b = json.loads(b.read_text())["plan"]
+        assert plan_a == plan_b
+
+    def test_gpus_contradicting_cluster_rejected(self, capsys, tmp_path):
+        code = main([
+            "tune", "--model", "gpt3-1.3b", "--global-batch", "16",
+            "--gpus", "8", "--cluster", self._mixed_small(tmp_path),
+            "--scale", "smoke",
+        ])
+        assert code == 2
+        assert "contradicts" in capsys.readouterr().out
+
+    def test_explicit_gpu_with_cluster_rejected(self, capsys, tmp_path):
+        code = main([
+            "tune", "--model", "gpt3-1.3b", "--global-batch", "16",
+            "--gpu", "H100-80GB", "--cluster", self._mixed_small(tmp_path),
+            "--scale", "smoke",
+        ])
+        assert code == 2
+        assert "--gpu conflicts" in capsys.readouterr().out
+
+    def test_missing_gpus_without_cluster_rejected(self, capsys):
+        code = main(["tune", "--model", "gpt3-1.3b",
+                     "--global-batch", "16", "--scale", "smoke"])
+        assert code == 2
+        assert "--gpus is required" in capsys.readouterr().out
 
 
 class TestSweep:

@@ -1,0 +1,49 @@
+"""Docs stay truthful: links resolve, API.md examples execute.
+
+Mirrors the CI ``docs`` job so a broken doc link or a stale ``>>>``
+example in ``docs/API.md`` fails tier-1 locally too.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib.util
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    path = ROOT / "scripts" / "check_docs_links.py"
+    spec = importlib.util.spec_from_file_location("check_docs_links", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDocsLinks:
+    def test_all_relative_links_resolve(self):
+        checker = _load_checker()
+        problems = {}
+        for doc in checker.DOC_FILES:
+            assert doc.exists(), f"doc file vanished: {doc}"
+            missing = checker.broken_links(doc)
+            if missing:
+                problems[str(doc.relative_to(ROOT))] = missing
+        assert not problems, f"broken doc links: {problems}"
+
+    def test_readme_links_docs_tree(self):
+        readme = (ROOT / "README.md").read_text()
+        for target in ("docs/ARCHITECTURE.md", "docs/API.md"):
+            assert target in readme, f"README does not link {target}"
+
+
+class TestApiDocExamples:
+    def test_api_md_doctests(self):
+        results = doctest.testfile(
+            str(ROOT / "docs" / "API.md"),
+            module_relative=False,
+            optionflags=doctest.NORMALIZE_WHITESPACE,
+        )
+        assert results.attempted > 10, "API.md lost its runnable examples"
+        assert results.failed == 0
