@@ -1,11 +1,17 @@
 #!/usr/bin/env python3
-"""Check that relative links in README/docs resolve to real files.
+"""Check that relative links in README/docs resolve to real targets.
 
 Scans markdown files for ``[text](target)`` links, ignores external
-(``http(s)://``, ``mailto:``) and pure-anchor targets, and fails if a
-relative target (file or ``file#anchor``) does not exist on disk.
+(``http(s)://``, ``mailto:``) targets, and fails if
+
+* a relative target (file or ``file#anchor``) does not exist on disk, or
+* an anchor (``#section`` or ``file#section``) does not match any
+  heading in the target markdown file (GitHub-style slugs).
+
 Inline/fenced code spans are stripped first so code examples never
-produce false positives.
+produce false positives. Coverage: ``README.md`` plus every markdown
+file under ``docs/`` (recursively — new pages are checked the moment
+they land).
 
 Usage: python scripts/check_docs_links.py  (from the repo root; exits
 non-zero listing every broken link)
@@ -20,24 +26,52 @@ from pathlib import Path
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
 INLINE_CODE_RE = re.compile(r"`[^`]*`")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
 
 ROOT = Path(__file__).resolve().parent.parent
-DOC_FILES = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+DOC_FILES = [ROOT / "README.md", *sorted((ROOT / "docs").rglob("*.md"))]
+
+
+def _strip_code(text: str) -> str:
+    return INLINE_CODE_RE.sub("", FENCE_RE.sub("", text))
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    heading = heading.strip().lower()
+    heading = re.sub(r"`", "", heading)
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    """All anchors the file exposes, with GitHub's duplicate-heading
+    suffixes (second "## Running" becomes ``running-1``)."""
+    text = FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    seen: dict[str, int] = {}
+    slugs = set()
+    for heading in HEADING_RE.findall(text):
+        slug = github_slug(heading)
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
 
 
 def broken_links(path: Path) -> list[str]:
-    text = path.read_text(encoding="utf-8")
-    text = FENCE_RE.sub("", text)
-    text = INLINE_CODE_RE.sub("", text)
+    text = _strip_code(path.read_text(encoding="utf-8"))
     missing = []
     for target in LINK_RE.findall(text):
-        if target.startswith(("http://", "https://", "mailto:", "#")):
+        if target.startswith(("http://", "https://", "mailto:")):
             continue
-        relative = target.split("#", 1)[0]
-        if not relative:
-            continue
-        if not (path.parent / relative).exists():
+        relative, _, anchor = target.partition("#")
+        resolved = (path.parent / relative) if relative else path
+        if not resolved.exists():
             missing.append(target)
+            continue
+        if anchor and resolved.suffix == ".md":
+            if github_slug(anchor) not in heading_slugs(resolved):
+                missing.append(f"{target} (no such heading)")
     return missing
 
 

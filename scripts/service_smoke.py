@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""CI smoke test for `repro serve`: boot, solve, prove the cache hit.
+
+Launches the daemon as a real subprocess (`python -m repro serve`) on
+an ephemeral port with a throwaway plan-cache directory, then:
+
+1. waits for the startup banner and `GET /healthz`;
+2. POSTs a tiny tuning job (smoke scale, no interference calibration)
+   and waits for completion;
+3. POSTs the identical job again and asserts it is answered from the
+   shared plan cache with no second solver invocation — per the
+   `/metrics` counters;
+4. shuts the daemon down.
+
+Exit code 0 on success. Runs in ~10s.
+
+Usage: python scripts/service_smoke.py  (from the repo root)
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.api import TuningJob  # noqa: E402
+from repro.service import Client  # noqa: E402
+
+JOB = TuningJob(model="gpt3-1.3b", gpu="L4", num_gpus=2, global_batch=16,
+                scale="smoke", interference="none")
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as cache_dir:
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "1", "--cache-dir", cache_dir],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env, cwd=ROOT,
+        )
+        try:
+            banner = daemon.stdout.readline()
+            match = re.search(r"http://[\d.]+:(\d+)", banner)
+            assert match, f"no listen address in banner: {banner!r}"
+            client = Client(match.group(0), timeout=30)
+
+            assert client.health()["status"] == "ok"
+            print(f"daemon healthy at {match.group(0)}")
+
+            start = time.perf_counter()
+            first = client.solve(JOB, solver="mist", timeout=300)
+            cold = time.perf_counter() - start
+            assert first.found, "smoke job found no feasible plan"
+            assert not first.from_cache
+            print(f"cold solve: {first.throughput:.2f} samples/s "
+                  f"in {cold:.1f}s")
+
+            start = time.perf_counter()
+            second = client.solve(JOB, solver="mist", timeout=30)
+            warm = time.perf_counter() - start
+            assert second.from_cache, "second request missed the plan cache"
+            print(f"warm solve: served from cache in {warm:.3f}s")
+
+            metrics = client.metrics()
+            assert metrics["solver"]["invocations"] == 1, metrics
+            assert metrics["cache"]["hits"] == 1, metrics
+            assert metrics["cache"]["misses"] == 1, metrics
+            print(f"metrics prove it: invocations=1 hits=1 "
+                  f"(cold {cold:.1f}s -> warm {warm:.3f}s)")
+        finally:
+            daemon.terminate()
+            try:
+                daemon.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                daemon.kill()
+    print("service smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

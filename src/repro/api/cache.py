@@ -12,6 +12,7 @@ in order: the constructor argument, ``$REPRO_PLAN_CACHE``, or
 from __future__ import annotations
 
 import os
+import threading
 from pathlib import Path
 
 from .job import TuningJob
@@ -28,17 +29,31 @@ def default_cache_dir() -> Path:
 
 
 class PlanCache:
-    """Filesystem-backed store of solved reports."""
+    """Filesystem-backed store of solved reports.
+
+    Safe under concurrent readers and writers in one or many processes:
+    writes go to a per-writer temp file and land with an atomic rename,
+    so a reader only ever sees a complete entry (or none). The ``repro
+    serve`` daemon shares a single instance across its worker pool.
+    """
 
     def __init__(self, root: "str | Path | None" = None):
         self.root = Path(root) if root is not None else default_cache_dir()
 
     def path_for(self, job: TuningJob, solver: str) -> Path:
-        return self.root / f"{solver}-{job.fingerprint()}.json"
+        return self.path_for_fingerprint(job.fingerprint(), solver)
+
+    def path_for_fingerprint(self, fingerprint: str, solver: str) -> Path:
+        return self.root / f"{solver}-{fingerprint}.json"
 
     def load(self, job: TuningJob, solver: str) -> SolveReport | None:
         """The cached report, or ``None`` on miss/corruption."""
-        path = self.path_for(job, solver)
+        return self.load_fingerprint(job.fingerprint(), solver)
+
+    def load_fingerprint(self, fingerprint: str,
+                         solver: str) -> SolveReport | None:
+        """Look up by raw fingerprint (the ``GET /plans/<fp>`` path)."""
+        path = self.path_for_fingerprint(fingerprint, solver)
         try:
             text = path.read_text()
         except OSError:
@@ -53,9 +68,16 @@ class PlanCache:
     def store(self, report: SolveReport) -> Path:
         path = self.path_for(report.job, report.solver)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(report.to_json())
-        tmp.replace(path)
+        # unique per writer: concurrent stores of the same key must not
+        # truncate each other's in-progress temp file
+        tmp = path.with_name(
+            f".{path.stem}.{os.getpid()}-{threading.get_ident()}.tmp")
+        try:
+            tmp.write_text(report.to_json())
+            tmp.replace(path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+            raise
         return path
 
     def clear(self) -> int:

@@ -23,6 +23,7 @@ Megatron-LM/DeepSpeed on a mixed fleet.
 
 from __future__ import annotations
 
+import inspect
 import warnings
 
 from repro.baselines import (
@@ -97,9 +98,15 @@ def _baseline_cluster(job: TuningJob, solver_name: str):
 
 @register_solver("mist")
 class MistSolver:
-    """Mist: hierarchical memory-parallelism co-optimization (§5)."""
+    """Mist: hierarchical memory-parallelism co-optimization (§5).
 
-    def solve(self, job: TuningJob) -> SolveReport:
+    Accepts the optional service hooks: ``progress(done, total)`` is
+    relayed from the (S, G) search, and ``should_stop()`` cancels it
+    cooperatively (raising :class:`~repro.core.tuner.SearchCancelled`).
+    """
+
+    def solve(self, job: TuningJob, *, progress=None,
+              should_stop=None) -> SolveReport:
         spec = job.workload
         cluster = spec.cluster  # ClusterSpec or HeterogeneousCluster
         scale = job.resolved_scale()
@@ -113,7 +120,8 @@ class MistSolver:
         )
         tuning = tuner.search(job.global_batch,
                               parallelism=job.parallelism,
-                              keep_top=job.keep_top)
+                              keep_top=job.keep_top,
+                              progress=progress, should_stop=should_stop)
         # Execute the top predicted plans and keep the best measured one
         # (the artifact's benchmark-one-case step, which absorbs the
         # winner's-curse bias of the argmin over noisy predictions).
@@ -228,18 +236,32 @@ class UniformSolver(_BaselineSolver):
 
 
 def solve(job: TuningJob, solver: str = "mist", *,
-          cache: PlanCache | None = None) -> SolveReport:
+          cache: PlanCache | None = None,
+          progress=None, should_stop=None) -> SolveReport:
     """Solve ``job`` with the named registered solver.
 
     With a ``cache``, a previously solved equivalent job is returned
     straight from disk (``report.from_cache`` is set) and fresh results
     are stored for the next caller.
+
+    ``progress`` / ``should_stop`` are forwarded to solvers whose
+    ``solve()`` accepts them (currently ``mist``); other backends run
+    uninstrumented — submission-time cancellation still applies in the
+    service, mid-search cancellation does not.
     """
     if cache is not None:
         hit = cache.load(job, solver)
         if hit is not None:
             return hit
-    report = get_solver(solver).solve(job)
+    backend = get_solver(solver)
+    hooks = {}
+    if progress is not None or should_stop is not None:
+        accepted = inspect.signature(backend.solve).parameters
+        if "progress" in accepted:
+            hooks["progress"] = progress
+        if "should_stop" in accepted:
+            hooks["should_stop"] = should_stop
+    report = backend.solve(job, **hooks)
     if cache is not None:
         cache.store(report)
     return report

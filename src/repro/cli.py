@@ -10,6 +10,9 @@ Commands:
   print the normalized-throughput table (Figs. 11/12 style).
 * ``cluster``  — inspect/validate a cluster description file: device
   groups, per-GPU memory budgets, link bandwidths.
+* ``serve``    — start the tuning-as-a-service HTTP daemon (job
+  submission, request coalescing, shared plan cache; see
+  ``docs/SERVICE.md``).
 * ``solvers``  — list the registered solver backends.
 * ``models``   — list available model configurations.
 * ``analyze``  — predict time/memory for an explicit configuration.
@@ -288,6 +291,19 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    # imported here: the service pulls in asyncio plumbing no other
+    # subcommand needs
+    from repro.service import TuningService
+
+    # PlanCache(None) resolves to $REPRO_PLAN_CACHE / ~/.cache/repro/plans
+    service = TuningService(host=args.host, port=args.port,
+                            workers=args.workers,
+                            cache=PlanCache(args.cache_dir))
+    service.serve_forever()
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     spec = WorkloadSpec(
         model_spec=args.model, gpu_name=args.gpu or "L4",
@@ -386,6 +402,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--no-flash", action="store_true")
     _add_solver_args(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_serve = sub.add_parser(
+        "serve", help="start the tuning-as-a-service HTTP daemon")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8321,
+                         help="listen port (0 = ephemeral; the chosen "
+                              "port is printed on startup)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="solver worker threads (bounded pool)")
+    p_serve.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="shared plan-cache directory "
+                              "(default: $REPRO_PLAN_CACHE or "
+                              "~/.cache/repro/plans)")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_an = sub.add_parser("analyze",
                           help="execute one explicit configuration")

@@ -36,6 +36,7 @@ v2.0 — use :meth:`MistTuner.search` or :func:`repro.api.solve`.
 from __future__ import annotations
 
 import os
+import threading
 import time
 import warnings
 from collections.abc import Mapping
@@ -57,7 +58,15 @@ from .objectives import throughput
 from .plan import TrainingPlan
 from .spaces import SPACE_MIST, SearchSpace
 
-__all__ = ["MistTuner", "TuningResult"]
+__all__ = ["MistTuner", "SearchCancelled", "TuningResult"]
+
+
+class SearchCancelled(RuntimeError):
+    """Raised when a ``should_stop`` hook aborts a running search.
+
+    Cooperative: the tuner polls the hook between (S, G) cells, so a
+    cancellation lands at the next cell boundary, never mid-solve.
+    """
 
 
 @dataclass
@@ -217,27 +226,46 @@ class MistTuner:
         return grid
 
     def search(self, global_batch: int, *, parallelism: int = 1,
-               verbose: bool = False, keep_top: int = 3) -> TuningResult:
+               verbose: bool = False, keep_top: int = 3,
+               progress=None, should_stop=None) -> TuningResult:
         """Solve every (S, G) candidate and return the ranked outcome.
 
         ``parallelism > 1`` fans the independent per-(S, G) solves over
         that many worker threads (``0`` means one per CPU core); results
         are merged in enumeration order, so the returned plans are
         identical regardless of worker count.
+
+        ``progress(done, total)`` is invoked after every solved (S, G)
+        cell (from worker threads when parallel — keep it cheap and
+        thread-safe). ``should_stop()`` is polled before each cell; the
+        first ``True`` raises :class:`SearchCancelled`, discarding
+        partial results. Both hooks exist for long-running callers (the
+        ``repro serve`` daemon) that need liveness and cancellation.
         """
         start = time.perf_counter()
         grid = self._sg_grid(global_batch)
+        total = len(grid)
+        done_lock = threading.Lock()
+        done = [0]
+
+        def _solve_cell(task):
+            if should_stop is not None and should_stop():
+                raise SearchCancelled(
+                    f"search cancelled after {done[0]}/{total} cells")
+            solution = self._tune_pipeline(global_batch, *task)
+            with done_lock:
+                done[0] += 1
+                if progress is not None:
+                    progress(done[0], total)
+            return solution
+
         workers = parallelism if parallelism > 0 else (os.cpu_count() or 1)
         if workers > 1 and len(grid) > 1:
             with ThreadPoolExecutor(
                     max_workers=min(workers, len(grid))) as pool:
-                solutions = list(pool.map(
-                    lambda task: self._tune_pipeline(global_batch, *task),
-                    grid,
-                ))
+                solutions = list(pool.map(_solve_cell, grid))
         else:
-            solutions = [self._tune_pipeline(global_batch, *task)
-                         for task in grid]
+            solutions = [_solve_cell(task) for task in grid]
 
         candidates: list[tuple[float, TrainingPlan]] = []
         evaluated = 0

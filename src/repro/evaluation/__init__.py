@@ -9,6 +9,7 @@ from .runner import (
     compare_systems,
     run_baseline,
     run_mist,
+    run_via_service,
 )
 from .workloads import (
     SCALES,
@@ -43,6 +44,7 @@ __all__ = [
     "paper_workloads",
     "run_baseline",
     "run_mist",
+    "run_via_service",
     "scale_from_dict",
     "scale_ref",
     "scale_to_dict",

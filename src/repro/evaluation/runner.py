@@ -40,6 +40,7 @@ __all__ = [
     "calibrated_interference",
     "run_mist",
     "run_baseline",
+    "run_via_service",
     "compare_systems",
 ]
 
@@ -67,21 +68,32 @@ def calibrated_interference(pcie_only: bool) -> InterferenceModel:
 
 @dataclass
 class SystemOutcome:
-    """One system's tuned-and-measured result on one workload."""
+    """One system's tuned-and-measured result on one workload.
+
+    Local runs carry the live :class:`IterationResult`; outcomes
+    fetched from a ``repro serve`` daemon only have the serialized
+    ``measured`` metrics (the wire format drops runtime objects), so
+    :attr:`throughput` / :attr:`found` consult both.
+    """
 
     system: str
     plan: TrainingPlan | None
     result: IterationResult | None
     tuning_time_seconds: float
     extra: dict = field(default_factory=dict)
+    #: serialized metrics (``iteration_time``/``throughput``/...) for
+    #: outcomes that crossed a process boundary
+    measured: dict = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
-        return self.result.throughput if self.result else 0.0
+        if self.result is not None:
+            return self.result.throughput
+        return float(self.measured.get("throughput", 0.0))
 
     @property
     def found(self) -> bool:
-        return self.result is not None
+        return self.result is not None or bool(self.measured)
 
 
 @dataclass
@@ -151,14 +163,57 @@ def run_baseline(spec: WorkloadSpec, system: str) -> SystemOutcome:
     )
 
 
+def run_via_service(spec: WorkloadSpec, system: str, service_url: str, *,
+                    scale: TuningScale | None = None,
+                    parallelism: int = 1,
+                    timeout: float | None = None) -> SystemOutcome:
+    """Solve one workload on a live ``repro serve`` daemon.
+
+    The daemon owns the search (and its coalescing + plan cache); this
+    process only submits the declarative job and reconstructs the
+    outcome from the returned report. ``result`` is ``None`` — runtime
+    execution objects never cross the wire — but ``measured`` carries
+    the daemon-side measurements, so throughput comparisons work
+    unchanged.
+    """
+    from repro.api import TuningJob
+    from repro.service import Client
+
+    solver = _SOLVER_ALIASES.get(system, system)
+    job = TuningJob.from_workload(
+        spec, scale=scale_ref(scale or current_scale()),
+        parallelism=parallelism,
+    )
+    report = Client(service_url).solve(job, solver=solver, timeout=timeout)
+    extra = dict(report.extra)
+    extra["service_url"] = service_url
+    extra["from_cache"] = report.from_cache
+    return SystemOutcome(
+        system=system,
+        plan=report.plan,
+        result=None,
+        tuning_time_seconds=report.tuning_time_seconds,
+        extra=extra,
+        measured=dict(report.measured),
+    )
+
+
 def compare_systems(spec: WorkloadSpec,
                     systems: tuple[str, ...] = ("megatron", "deepspeed",
                                                 "mist"),
-                    scale: TuningScale | None = None) -> Comparison:
-    """Measure every requested system on one workload."""
+                    scale: TuningScale | None = None,
+                    service_url: str | None = None) -> Comparison:
+    """Measure every requested system on one workload.
+
+    With ``service_url``, every solve is delegated to that live
+    ``repro serve`` daemon instead of running in-process.
+    """
     outcomes: dict[str, SystemOutcome] = {}
     for system in systems:
-        if system == "mist":
+        if service_url is not None:
+            outcomes[system] = run_via_service(spec, system, service_url,
+                                               scale=scale)
+        elif system == "mist":
             outcomes[system] = run_mist(spec, scale=scale)
         else:
             outcomes[system] = run_baseline(spec, system)

@@ -1,0 +1,143 @@
+"""Blocking Python client for the ``repro serve`` daemon.
+
+Stdlib-only (:mod:`urllib.request`); every method is one HTTP exchange
+except :meth:`Client.wait` / :meth:`Client.solve`, which poll
+``GET /jobs/<id>`` until the job reaches a terminal state.
+
+    from repro.api import TuningJob
+    from repro.service import Client
+
+    client = Client("http://127.0.0.1:8321")
+    report = client.solve(TuningJob(model="gpt3-1.3b", num_gpus=2,
+                                    global_batch=16, scale="smoke"))
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.api.job import TuningJob
+from repro.api.report import SolveReport
+
+__all__ = ["Client", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered with an error (HTTP >= 400) or a failed job."""
+
+    def __init__(self, message: str, *, status: int | None = None,
+                 payload: dict | None = None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class Client:
+    """Thin blocking wrapper over the service's JSON endpoints."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> dict:
+        data = json.dumps(payload).encode() if payload is not None else None
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read().decode())
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode())
+            except (ValueError, UnicodeDecodeError):
+                body = {}
+            raise ServiceError(
+                body.get("error", f"HTTP {exc.code}"),
+                status=exc.code, payload=body,
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach {self.base_url}: {exc.reason}") from None
+
+    # -- one-exchange endpoints -------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def submit(self, job: TuningJob, solver: str = "mist") -> dict:
+        """``POST /jobs``; returns the job record (see ``id``/``status``)."""
+        return self._request("POST", "/jobs",
+                             {"job": job.to_dict(), "solver": solver})
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def plan(self, fingerprint: str,
+             solver: str = "mist") -> SolveReport | None:
+        """Cached report for a fingerprint, or ``None`` when absent."""
+        try:
+            payload = self._request(
+                "GET", f"/plans/{fingerprint}?solver={solver}")
+        except ServiceError as exc:
+            if exc.status == 404:
+                return None
+            raise
+        report = SolveReport.from_dict(payload["report"])
+        report.from_cache = True
+        return report
+
+    # -- polling helpers ---------------------------------------------------
+
+    def wait(self, job_id: str, *, timeout: float | None = None,
+             poll_interval: float = 0.1) -> dict:
+        """Poll until the job finishes; returns its final record."""
+        deadline = (time.monotonic() + timeout) if timeout is not None \
+            else None
+        while True:
+            record = self.job(job_id)
+            if record["status"] in ("done", "failed", "cancelled"):
+                return record
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['status']} "
+                    f"after {timeout:.1f}s")
+            time.sleep(poll_interval)
+
+    def solve(self, job: TuningJob, solver: str = "mist", *,
+              timeout: float | None = None,
+              poll_interval: float = 0.1) -> SolveReport:
+        """Submit, wait, and reconstruct the :class:`SolveReport`.
+
+        Raises :class:`ServiceError` when the job fails or is
+        cancelled. ``report.from_cache`` reflects whether the daemon
+        answered from its shared plan cache.
+        """
+        record = self.submit(job, solver)
+        if not record["from_cache"]:
+            record = self.wait(record["id"], timeout=timeout,
+                               poll_interval=poll_interval)
+        if record["status"] != "done":
+            raise ServiceError(
+                f"job {record['id']} {record['status']}: "
+                f"{record.get('error') or 'no detail'}",
+                payload=record,
+            )
+        report = SolveReport.from_dict(record["report"])
+        report.from_cache = bool(record["from_cache"])
+        return report

@@ -1,0 +1,411 @@
+"""The ``repro serve`` daemon: asyncio HTTP front, threaded solver pool.
+
+Architecture — one event loop, one bounded
+:class:`~concurrent.futures.ThreadPoolExecutor`:
+
+* the loop accepts connections and parses/serializes JSON; nothing on
+  it ever runs a solver;
+* submissions are keyed by ``(solver, TuningJob.fingerprint())``;
+  a cache hit completes immediately, an identical in-flight key
+  coalesces onto the running search, anything else is handed to the
+  pool;
+* workers call :func:`repro.api.solve` with the shared
+  :class:`~repro.api.cache.PlanCache` plus the ``progress`` /
+  ``should_stop`` hooks, so ``GET /jobs/<id>`` shows live (S, G)
+  progress and ``POST /jobs/<id>/cancel`` lands at the next cell
+  boundary.
+
+Only the stdlib is used: the HTTP layer is a minimal HTTP/1.1
+request/response exchange over :func:`asyncio.start_server`
+(``Connection: close``, JSON bodies both ways).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import threading
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from urllib.parse import parse_qs, urlsplit
+
+from repro import __version__
+from repro.api import PlanCache, SolverNotFoundError, TuningJob, solve
+from repro.api.registry import solver_names
+from repro.core.tuner import SearchCancelled
+
+from .state import InFlight, JobRecord, ServiceMetrics
+
+__all__ = ["ServiceHandle", "TuningService", "UnknownJobError"]
+
+
+class UnknownJobError(KeyError):
+    """No job record under the requested id."""
+
+    def __init__(self, job_id: str):
+        super().__init__(f"unknown job {job_id!r}")
+        self.job_id = job_id
+
+_MAX_BODY_BYTES = 8 * 2**20  # a TuningJob is KBs; reject absurd bodies
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            409: "Conflict", 413: "Payload Too Large",
+            500: "Internal Server Error"}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class ServiceHandle:
+    """A started service: where it listens and how to stop it."""
+
+    service: "TuningService"
+    thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.service.host}:{self.service.port}"
+
+    def stop(self, *, timeout: float = 10.0) -> None:
+        self.service.stop()
+        if self.thread is not None:
+            self.thread.join(timeout=timeout)
+
+
+class TuningService:
+    """Long-running tuning daemon over the solver registry.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`port` once started). ``solve_fn`` is the solver entry point
+    and exists for tests — it must match :func:`repro.api.solve`'s
+    signature.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 workers: int = 2, cache: PlanCache | None = None,
+                 solve_fn=None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.cache = cache if cache is not None else PlanCache()
+        self.metrics = ServiceMetrics()
+        self._solve = solve_fn if solve_fn is not None else solve
+        self._jobs: dict[str, JobRecord] = {}
+        self._inflight: dict[tuple[str, str], InFlight] = {}
+        self._lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(max_workers=workers,
+                                        thread_name_prefix="repro-solve")
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._shutting_down = False
+
+    # -- job lifecycle (thread-safe, usable without HTTP) ------------------
+
+    def submit(self, job: TuningJob, solver: str = "mist") -> JobRecord:
+        """Register a job: cache hit, coalesce, or start a search."""
+        if solver not in solver_names():
+            raise SolverNotFoundError(solver)
+        fingerprint = job.fingerprint()
+        record = JobRecord(job=job, solver=solver, fingerprint=fingerprint)
+        key = (solver, fingerprint)
+        with self._lock:
+            # the cache read must happen under the same lock as the
+            # in-flight check. The worker's own store is NOT locked —
+            # the invariant is ordering: solve() stores the report
+            # strictly before _finish_flight detaches the flight under
+            # this lock, so a racing submission sees either the flight
+            # (coalesce) or the already-stored entry (hit), never
+            # neither. Keep that store-before-detach order.
+            hit = self.cache.load(job, solver)
+            self.metrics.inc("jobs_submitted")
+            self._jobs[record.id] = record
+            if hit is not None:
+                record.complete(hit, from_cache=True)
+                self.metrics.inc("cache_hits")
+                self.metrics.inc("jobs_completed")
+                return record
+            self.metrics.inc("cache_misses")
+            flight = self._inflight.get(key)
+            if flight is not None:
+                flight.attach(record)
+                record.coalesced = True
+                self.metrics.inc("coalesced")
+                return record
+            flight = InFlight(key, record)
+            self._inflight[key] = flight
+            self._pool.submit(self._run_flight, flight, job, solver)
+        return record
+
+    def get_job(self, job_id: str) -> JobRecord:
+        with self._lock:
+            record = self._jobs.get(job_id)
+        if record is None:
+            raise UnknownJobError(job_id)
+        return record
+
+    def cancel_job(self, job_id: str) -> JobRecord:
+        record = self.get_job(job_id)
+        if record.cancel():
+            self.metrics.inc("jobs_cancelled")
+        return record
+
+    def _run_flight(self, flight: InFlight, job: TuningJob,
+                    solver: str) -> None:
+        """Worker-thread body: one search feeding 1..n coalesced records."""
+        flight.mark_running()
+
+        def progress(done: int, total: int) -> None:
+            snapshot = {"done": done, "total": total}
+            for record in flight.records():
+                record.progress = dict(snapshot)
+
+        def should_stop() -> bool:
+            return self._shutting_down or flight.cancelled()
+
+        start = time.perf_counter()
+        try:
+            report = self._solve(job, solver, cache=self.cache,
+                                 progress=progress, should_stop=should_stop)
+        except SearchCancelled:
+            self.metrics.inc("solver_invocations")
+            self._finish_flight(flight)
+            # cancelled records already hold their terminal state; a
+            # record that coalesced on after cancellation fired fails
+            for record in flight.records():
+                if record.fail("search cancelled before completion"):
+                    self.metrics.inc("jobs_failed")
+        except Exception as exc:  # noqa: BLE001 — daemon must not die
+            self.metrics.inc("solver_invocations")
+            self._finish_flight(flight)
+            error = f"{type(exc).__name__}: {exc}"
+            for record in flight.records():
+                if record.fail(error):
+                    self.metrics.inc("jobs_failed")
+        else:
+            # from_cache means another process stored the answer while
+            # this flight raced it — no search ran here, so the ledger
+            # records a hit, not an invocation
+            if report.from_cache:
+                self.metrics.inc("cache_hits")
+            else:
+                self.metrics.inc("solver_invocations")
+                self.metrics.observe_solve(time.perf_counter() - start)
+            self._finish_flight(flight)
+            for record in flight.records():
+                if record.complete(report, from_cache=report.from_cache):
+                    self.metrics.inc("jobs_completed")
+
+    def _metrics_body(self) -> dict:
+        with self._lock:
+            in_flight = len(self._inflight)
+            tracked = len(self._jobs)
+        return self.metrics.snapshot(
+            in_flight=in_flight, tracked=tracked, workers=self.workers)
+
+    def _jobs_body(self) -> dict:
+        with self._lock:
+            records = list(self._jobs.values())
+        return {"jobs": [r.to_dict(include_report=False) for r in records]}
+
+    def _finish_flight(self, flight: InFlight) -> None:
+        """Detach the flight so later submissions go to the cache.
+
+        Ordering matters: this runs under the same lock as
+        :meth:`submit`, so any record that coalesced onto the flight
+        before removal is in ``flight.records()`` and will be completed
+        by the caller; any submission after removal sees the stored
+        cache entry (or starts a fresh flight after a failure).
+        """
+        with self._lock:
+            self._inflight.pop(flight.key, None)
+
+    # -- HTTP front --------------------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        status, payload = 500, {"error": "internal error"}
+        try:
+            method, path, body = await self._read_request(reader)
+            status, payload = await self._dispatch(method, path, body)
+        except _HttpError as exc:
+            status, payload = exc.status, {"error": exc.message}
+        except (asyncio.IncompleteReadError, ConnectionError):
+            writer.close()
+            return
+        except Exception:  # noqa: BLE001 — connection-scoped failure
+            # log server-side; never leak tracebacks to remote clients
+            print("repro serve: unhandled error\n"
+                  + traceback.format_exc(limit=5),
+                  file=sys.stderr, flush=True)
+            status, payload = 500, {"error": "internal server error"}
+        data = json.dumps(payload, sort_keys=True).encode()
+        head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(data)}\r\n"
+                f"Connection: close\r\n\r\n").encode()
+        try:
+            writer.write(head + data)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    @staticmethod
+    async def _read_request(reader) -> tuple[str, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line {request_line!r}")
+        method, path, _version = parts
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _HttpError(400, "bad Content-Length") from None
+        if content_length < 0:
+            raise _HttpError(400, "bad Content-Length")
+        if content_length > _MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        body = (await reader.readexactly(content_length)
+                if content_length else b"")
+        return method, path, body
+
+    async def _dispatch(self, method: str, path: str,
+                        body: bytes) -> tuple[int, dict]:
+        split = urlsplit(path)
+        segments = [s for s in split.path.split("/") if s]
+        query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        loop = asyncio.get_running_loop()
+
+        if segments == ["healthz"] and method == "GET":
+            return 200, {
+                "status": "ok",
+                "version": __version__,
+                "solvers": list(solver_names()),
+                "workers": self.workers,
+                "cache_dir": str(self.cache.root),
+            }
+        if segments == ["metrics"] and method == "GET":
+            # self._lock may be held by a submit() doing cache I/O, so
+            # even short lock acquisitions stay off the event loop
+            return 200, await loop.run_in_executor(None, self._metrics_body)
+        if segments == ["jobs"]:
+            if method == "POST":
+                payload = self._parse_json(body)
+                job_dict = payload.get("job")
+                if not isinstance(job_dict, dict):
+                    raise _HttpError(400, 'body must carry {"job": {...}}')
+                solver = payload.get("solver", "mist")
+                try:
+                    job = TuningJob.from_dict(job_dict)
+                except Exception as exc:  # noqa: BLE001 — user input
+                    raise _HttpError(400, f"invalid job: {exc}") from None
+                try:
+                    # submit touches the cache (disk): keep it off the loop
+                    record = await loop.run_in_executor(
+                        None, self.submit, job, solver)
+                except SolverNotFoundError as exc:
+                    raise _HttpError(404, exc.args[0]) from None
+                return 202, record.to_dict()
+            if method == "GET":
+                return 200, await loop.run_in_executor(
+                    None, self._jobs_body)
+            raise _HttpError(405, f"{method} not allowed on /jobs")
+        if len(segments) == 2 and segments[0] == "jobs" and method == "GET":
+            try:
+                record = await loop.run_in_executor(
+                    None, self.get_job, segments[1])
+                return 200, record.to_dict()
+            except UnknownJobError as exc:
+                raise _HttpError(404, exc.args[0]) from None
+        if (len(segments) == 3 and segments[0] == "jobs"
+                and segments[2] == "cancel" and method == "POST"):
+            try:
+                record = await loop.run_in_executor(
+                    None, self.cancel_job, segments[1])
+                return 200, record.to_dict()
+            except UnknownJobError as exc:
+                raise _HttpError(404, exc.args[0]) from None
+        if len(segments) == 2 and segments[0] == "plans" and method == "GET":
+            solver = query.get("solver", "mist")
+            report = await loop.run_in_executor(
+                None, self.cache.load_fingerprint, segments[1], solver)
+            if report is None:
+                raise _HttpError(
+                    404, f"no cached plan for {solver}-{segments[1]}")
+            return 200, {"solver": solver, "fingerprint": segments[1],
+                         "report": report.to_dict()}
+        raise _HttpError(404, f"no route for {method} {split.path}")
+
+    @staticmethod
+    def _parse_json(body: bytes) -> dict:
+        try:
+            payload = json.loads(body.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "JSON body must be an object")
+        return payload
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def _main(self, ready: threading.Event | None = None,
+                    banner: bool = False) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        server = await asyncio.start_server(self._handle_conn,
+                                            self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        if banner:
+            print(f"repro serve: listening on http://{self.host}:{self.port}"
+                  f" ({self.workers} workers, cache {self.cache.root})",
+                  flush=True)
+        if ready is not None:
+            ready.set()
+        async with server:
+            await self._stop_event.wait()
+        self._shutting_down = True
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+    def serve_forever(self, *, banner: bool = True) -> None:
+        """Run in the current thread until interrupted (the CLI path)."""
+        try:
+            asyncio.run(self._main(banner=banner))
+        except KeyboardInterrupt:
+            self._shutting_down = True
+            self._pool.shutdown(wait=False, cancel_futures=True)
+
+    def run_in_thread(self) -> ServiceHandle:
+        """Start on a daemon thread; returns once the port is bound."""
+        ready = threading.Event()
+        thread = threading.Thread(target=lambda: asyncio.run(
+            self._main(ready=ready)), daemon=True, name="repro-serve")
+        thread.start()
+        if not ready.wait(timeout=30):
+            raise RuntimeError("service failed to start within 30s")
+        return ServiceHandle(service=self, thread=thread)
+
+    def stop(self) -> None:
+        """Signal shutdown: stop accepting, cancel queued searches."""
+        self._shutting_down = True
+        loop, event = self._loop, self._stop_event
+        if loop is not None and event is not None and loop.is_running():
+            loop.call_soon_threadsafe(event.set)

@@ -1,0 +1,221 @@
+"""Shared service state: job records, in-flight coalescing, metrics.
+
+Everything here is touched from the asyncio event loop *and* from
+solver worker threads, so each structure guards its mutable fields with
+its own lock and exposes snapshot-style accessors that return plain
+JSON-serializable data.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+
+from repro.api.job import TuningJob
+from repro.api.report import SolveReport
+
+__all__ = ["JOB_STATES", "InFlight", "JobRecord", "ServiceMetrics"]
+
+#: lifecycle: queued -> running -> done | failed | cancelled
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: states a record can no longer leave
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+def _new_job_id() -> str:
+    return f"job-{uuid.uuid4().hex[:12]}"
+
+
+@dataclass
+class JobRecord:
+    """One submitted tuning request tracked by the daemon."""
+
+    job: TuningJob
+    solver: str
+    fingerprint: str
+    id: str = field(default_factory=_new_job_id)
+    status: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: latest (S, G)-cell progress relayed by the solver, if any
+    progress: dict | None = None
+    error: str | None = None
+    report: SolveReport | None = None
+    #: True when the answer came straight from the shared PlanCache
+    from_cache: bool = False
+    #: True when this record attached to another record's in-flight search
+    coalesced: bool = False
+    cancel_event: threading.Event = field(default_factory=threading.Event,
+                                          repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def finished(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    def mark_running(self) -> None:
+        with self._lock:
+            if self.status == "queued":
+                self.status = "running"
+                self.started_at = time.time()
+
+    def complete(self, report: SolveReport, *,
+                 from_cache: bool = False) -> bool:
+        with self._lock:
+            if self.finished:
+                return False
+            self.status = "done"
+            self.report = report
+            self.from_cache = from_cache
+            self.finished_at = time.time()
+            return True
+
+    def fail(self, error: str) -> bool:
+        with self._lock:
+            if self.finished:
+                return False
+            self.status = "failed"
+            self.error = error
+            self.finished_at = time.time()
+            return True
+
+    def cancel(self) -> bool:
+        """Request cancellation; returns False if already finished."""
+        with self._lock:
+            if self.finished:
+                return False
+            self.cancel_event.set()
+            self.status = "cancelled"
+            self.finished_at = time.time()
+            return True
+
+    def to_dict(self, *, include_report: bool = True) -> dict:
+        with self._lock:
+            out = {
+                "id": self.id,
+                "solver": self.solver,
+                "fingerprint": self.fingerprint,
+                "status": self.status,
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "from_cache": self.from_cache,
+                "coalesced": self.coalesced,
+                "progress": dict(self.progress) if self.progress else None,
+                "error": self.error,
+            }
+            if include_report:
+                out["job"] = self.job.to_dict()
+                out["report"] = (self.report.to_dict()
+                                 if self.report is not None else None)
+            return out
+
+
+class InFlight:
+    """One running search shared by every coalesced submission.
+
+    The first record for a ``(solver, fingerprint)`` key creates the
+    flight and a worker starts solving; later identical submissions
+    :meth:`attach` instead of searching again. The search is cancelled
+    only when *every* attached record asked for cancellation.
+    """
+
+    def __init__(self, key: tuple[str, str], record: JobRecord):
+        self.key = key
+        self._lock = threading.Lock()
+        self._records = [record]
+        self._running = False
+
+    def attach(self, record: JobRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+            running = self._running
+        if running:
+            # the search started before this record coalesced on: its
+            # lifecycle must still read queued -> running -> terminal
+            record.mark_running()
+
+    def mark_running(self) -> None:
+        """Flip the flight to running and every attached record with it."""
+        with self._lock:
+            self._running = True
+            records = list(self._records)
+        for record in records:
+            record.mark_running()
+
+    def records(self) -> list[JobRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def cancelled(self) -> bool:
+        """True once all attached records requested cancellation."""
+        records = self.records()
+        return bool(records) and all(
+            r.cancel_event.is_set() for r in records)
+
+
+class ServiceMetrics:
+    """Thread-safe counters surfaced at ``GET /metrics``.
+
+    ``cache_hits`` / ``cache_misses`` / ``coalesced`` are the proof
+    obligations of the service: a repeated job after completion must
+    bump ``cache_hits`` (no new search), and concurrent identical jobs
+    must bump ``coalesced`` while ``solver_invocations`` rises once.
+    """
+
+    _COUNTERS = (
+        "jobs_submitted", "jobs_completed", "jobs_failed", "jobs_cancelled",
+        "cache_hits", "cache_misses", "coalesced", "solver_invocations",
+    )
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = dict.fromkeys(self._COUNTERS, 0)
+        self._solve_seconds_total = 0.0
+        self._solve_count = 0
+        self._started_at = time.time()
+
+    def inc(self, name: str, n: int = 1) -> None:
+        if name not in self._counts:
+            raise KeyError(f"unknown metric {name!r}")
+        with self._lock:
+            self._counts[name] += n
+
+    def observe_solve(self, seconds: float) -> None:
+        with self._lock:
+            self._solve_seconds_total += float(seconds)
+            self._solve_count += 1
+
+    def snapshot(self, *, in_flight: int = 0, tracked: int = 0,
+                 workers: int = 0) -> dict:
+        with self._lock:
+            counts = dict(self._counts)
+            total = self._solve_seconds_total
+            solves = self._solve_count
+            uptime = time.time() - self._started_at
+        return {
+            "uptime_seconds": uptime,
+            "workers": workers,
+            "jobs": {
+                "submitted": counts["jobs_submitted"],
+                "completed": counts["jobs_completed"],
+                "failed": counts["jobs_failed"],
+                "cancelled": counts["jobs_cancelled"],
+                "coalesced": counts["coalesced"],
+                "in_flight": in_flight,
+                "tracked": tracked,
+            },
+            "cache": {
+                "hits": counts["cache_hits"],
+                "misses": counts["cache_misses"],
+            },
+            "solver": {
+                "invocations": counts["solver_invocations"],
+                "solve_seconds_total": total,
+                "solve_seconds_avg": (total / solves) if solves else 0.0,
+            },
+        }

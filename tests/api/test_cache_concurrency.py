@@ -1,0 +1,107 @@
+"""PlanCache under concurrent readers and writers.
+
+The `repro serve` daemon shares one cache across its worker pool (and
+potentially across daemon processes pointed at the same directory), so
+stores must be atomic: a reader may see a miss or a complete entry,
+never a torn/partial file, and concurrent writers of the same key must
+not clobber each other's in-progress temp files.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.api import PlanCache, SolveReport, TuningJob
+
+JOB = TuningJob(model="gpt3-1.3b", gpu="L4", num_gpus=2, global_batch=16,
+                scale="smoke")
+
+
+def _report(job: TuningJob, throughput: float) -> SolveReport:
+    return SolveReport(solver="mist", job=job,
+                       measured={"throughput": throughput})
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return PlanCache(tmp_path / "plans")
+
+
+def _run_threads(workers):
+    errors = []
+
+    def guard(fn):
+        def run():
+            try:
+                fn()
+            except Exception as exc:  # noqa: BLE001 — collected for assert
+                errors.append(exc)
+        return run
+
+    threads = [threading.Thread(target=guard(fn)) for fn in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+
+
+class TestConcurrentAccess:
+    def test_same_key_many_writers_many_readers(self, cache):
+        versions = [float(i + 1) for i in range(8)]
+        seen = []
+
+        def writer(value):
+            return lambda: [cache.store(_report(JOB, value))
+                            for _ in range(20)]
+
+        def reader():
+            for _ in range(60):
+                report = cache.load(JOB, "mist")
+                if report is not None:
+                    seen.append(report.throughput)
+
+        _run_threads([writer(v) for v in versions] + [reader] * 4)
+
+        # every observed value is a complete write, never a torn one
+        assert set(seen) <= set(versions)
+        # the surviving entry is one complete, parseable report
+        final = cache.load(JOB, "mist")
+        assert final is not None
+        assert final.throughput in versions
+        assert final.from_cache is True
+
+    def test_distinct_keys_do_not_interfere(self, cache):
+        jobs = [JOB.with_(global_batch=16 * (i + 1)) for i in range(6)]
+
+        def writer(job, value):
+            return lambda: [cache.store(_report(job, value))
+                            for _ in range(10)]
+
+        _run_threads([writer(job, float(i)) for i, job in enumerate(jobs)])
+
+        for i, job in enumerate(jobs):
+            report = cache.load(job, "mist")
+            assert report is not None
+            assert report.throughput == float(i)
+
+    def test_no_temp_droppings_after_store(self, cache):
+        _run_threads([lambda: cache.store(_report(JOB, 1.0))
+                      for _ in range(8)])
+        leftovers = [p for p in cache.root.iterdir()
+                     if p.suffix != ".json"]
+        assert leftovers == []
+
+    def test_reader_during_writes_never_crashes_on_corruption(self, cache):
+        # an unrelated writer dropping garbage alongside real entries
+        # must degrade to a miss, not an exception
+        path = cache.path_for(JOB, "mist")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{torn json")
+        assert cache.load(JOB, "mist") is None
+        cache.store(_report(JOB, 2.0))
+        assert cache.load(JOB, "mist").throughput == 2.0
+        json.loads(path.read_text())  # and the file on disk is valid JSON

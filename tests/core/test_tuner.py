@@ -82,3 +82,61 @@ class TestTuner:
         with pytest.deprecated_call():
             legacy = make_tuner().tune(BATCH)
         assert legacy.best_plan == mist_result.best_plan
+
+
+class TestSearchHooks:
+    """The service-facing hooks: progress relay + cooperative cancel."""
+
+    def test_progress_called_once_per_cell(self):
+        tuner = make_tuner()
+        calls = []
+        result = tuner.search(BATCH,
+                              progress=lambda done, total: calls.append(
+                                  (done, total)))
+        assert result.found
+        total = calls[0][1]
+        assert total == len(tuner._sg_grid(BATCH))
+        assert calls == [(i + 1, total) for i in range(total)]
+
+    def test_progress_called_from_parallel_search(self):
+        tuner = make_tuner()
+        calls = []
+        parallel = tuner.search(BATCH, parallelism=4,
+                                progress=lambda done, total: calls.append(
+                                    (done, total)))
+        serial = make_tuner().search(BATCH)
+        # every cell reported exactly once, monotonically
+        assert sorted(done for done, _ in calls) == list(
+            range(1, len(calls) + 1))
+        # hooks must not perturb the search outcome
+        assert parallel.best_plan == serial.best_plan
+
+    def test_should_stop_raises_search_cancelled(self):
+        from repro.core import SearchCancelled
+
+        tuner = make_tuner()
+        with pytest.raises(SearchCancelled):
+            tuner.search(BATCH, should_stop=lambda: True)
+
+    def test_cancel_mid_search(self):
+        from repro.core import SearchCancelled
+
+        tuner = make_tuner()
+        seen = []
+
+        def progress(done, total):
+            seen.append(done)
+
+        # trip the flag once the first cell lands; the next cell must
+        # not start
+        with pytest.raises(SearchCancelled):
+            tuner.search(BATCH, progress=progress,
+                         should_stop=lambda: bool(seen))
+        assert len(seen) < len(tuner._sg_grid(BATCH))
+
+    def test_no_hooks_unchanged(self):
+        # hook-free search stays identical to the pre-hook behavior
+        hookless = make_tuner().search(BATCH)
+        hooked = make_tuner().search(BATCH, progress=lambda d, t: None,
+                                     should_stop=lambda: False)
+        assert hookless.best_plan == hooked.best_plan

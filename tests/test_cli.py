@@ -294,3 +294,33 @@ class TestSweep:
                      "--reference", "mists", "--scale", "smoke"])
         assert code == 2
         assert "--reference" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8321
+        assert args.workers == 2
+        assert args.cache_dir is None
+
+    def test_serve_accepts_overrides(self):
+        args = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "0",
+             "--workers", "8", "--cache-dir", "/tmp/plans"])
+        assert (args.host, args.port, args.workers) == ("0.0.0.0", 0, 8)
+        assert args.cache_dir == "/tmp/plans"
+
+    def test_serve_boots_and_answers_healthz(self, tmp_path):
+        # drive the same wiring _cmd_serve uses, minus the blocking
+        # serve_forever() (covered by scripts/service_smoke.py in CI)
+        from repro.api import PlanCache
+        from repro.service import Client, TuningService
+
+        service = TuningService(workers=1,
+                                cache=PlanCache(tmp_path / "plans"))
+        handle = service.run_in_thread()
+        try:
+            assert Client(handle.url).health()["status"] == "ok"
+        finally:
+            handle.stop()

@@ -34,8 +34,23 @@ class TestDocsLinks:
 
     def test_readme_links_docs_tree(self):
         readme = (ROOT / "README.md").read_text()
-        for target in ("docs/ARCHITECTURE.md", "docs/API.md"):
+        for target in ("docs/ARCHITECTURE.md", "docs/API.md",
+                       "docs/SERVICE.md"):
             assert target in readme, f"README does not link {target}"
+
+    def test_new_docs_pages_are_covered_by_checker(self):
+        # the link checker must pick up docs pages automatically
+        checker = _load_checker()
+        covered = {doc.name for doc in checker.DOC_FILES}
+        assert {"SERVICE.md", "BENCHMARKS.md"} <= covered
+
+    def test_checker_catches_bad_anchor(self, tmp_path):
+        checker = _load_checker()
+        doc = tmp_path / "page.md"
+        doc.write_text("# Real Heading\n[ok](#real-heading) "
+                       "[bad](#no-such-section)\n")
+        assert checker.broken_links(doc) == [
+            "#no-such-section (no such heading)"]
 
 
 class TestApiDocExamples:
@@ -47,3 +62,22 @@ class TestApiDocExamples:
         )
         assert results.attempted > 10, "API.md lost its runnable examples"
         assert results.failed == 0
+
+    def test_service_md_doctests(self):
+        results = doctest.testfile(
+            str(ROOT / "docs" / "SERVICE.md"),
+            module_relative=False,
+            optionflags=doctest.NORMALIZE_WHITESPACE,
+        )
+        assert results.attempted > 5, "SERVICE.md lost its runnable examples"
+        assert results.failed == 0
+
+
+class TestAnchorSlugs:
+    def test_duplicate_headings_get_github_suffixes(self, tmp_path):
+        checker = _load_checker()
+        doc = tmp_path / "page.md"
+        doc.write_text("## Running\ntext\n## Running\n"
+                       "[first](#running) [second](#running-1)\n")
+        assert checker.broken_links(doc) == []
+        assert checker.heading_slugs(doc) == {"running", "running-1"}
