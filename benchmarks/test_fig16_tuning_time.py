@@ -6,66 +6,40 @@ seconds (simulation-per-configuration) — and Mist at Aceso's search
 space is faster than Aceso (~201s).
 
 This bench measures Mist's actual tuning times over the incremental
-spaces on the scaled workload, measures Aceso's tuner, and *estimates*
-the simulation-based cost the way the paper cites it (≈6s per
-configuration simulation, Proteus [21]), since running Alpa is neither
-possible nor meaningful here.
+spaces on the scaled workload — through the prune-and-memoize engine,
+the same measurement ``repro bench`` snapshots into ``BENCH_4.json``
+(:func:`repro.benchmarking.measure_fig16`) — measures Aceso's tuner,
+and *estimates* the simulation-based cost the way the paper cites it
+(≈6s per configuration simulation, Proteus [21]), since running Alpa
+is neither possible nor meaningful here.
 
 Expected shape: tuning time grows with the space but stays within the
 same order of magnitude; the simulation-per-config estimate is many
-orders of magnitude larger.
+orders of magnitude larger; the engine records nonzero pruned and
+memo-hit counters while the parallel fan-out returns the serial plan.
 """
 
 from repro.baselines import AcesoTuner
-from repro.core import INCREMENTAL_SPACES, MistTuner, log10_configurations
-from repro.evaluation import (
-    WorkloadSpec,
-    calibrated_interference,
-    current_scale,
-    format_series,
-)
+from repro.benchmarking import fig16_spec, measure_fig16
+from repro.core import INCREMENTAL_SPACES, log10_configurations
+from repro.evaluation import current_scale, format_series
 
 #: per-configuration simulation cost cited by the paper (Proteus, §3.2)
 SIMULATION_SECONDS_PER_CONFIG = 6.0
 
 
-def _spec():
-    scale = current_scale().name
-    if scale == "full":
-        return WorkloadSpec("gpt3-22b", "L4", 32, 512, 2048)
-    if scale == "smoke":
-        return WorkloadSpec("gpt3-2.7b", "L4", 4, 64, 2048)
-    return WorkloadSpec("gpt3-6.7b", "L4", 8, 128, 2048)
-
-
 def _measure():
-    spec = _spec()
     scale = current_scale()
-    cluster = spec.cluster
-    interference = calibrated_interference(not cluster.gpu.has_nvlink)
-    times = {}
-    configs = {}
-    for space in INCREMENTAL_SPACES:
-        tuner = MistTuner(
-            spec.model, cluster, seq_len=spec.seq_len,
-            space=scale.apply(space), interference=interference,
-            max_pareto_points=scale.max_pareto_points,
-            max_gacc_candidates=scale.max_gacc_candidates,
-        )
-        tuned = tuner.search(spec.global_batch)
-        times[space.name] = tuned.tuning_time_seconds
-        configs[space.name] = tuned.configurations_evaluated
-        last_tuner, last_tuned = tuner, tuned
+    spec = fig16_spec(scale.name)
+    mist = measure_fig16(scale, prune=True, parallel_rerun=True)
 
-    # §5.3: the (S, G) grid is embarrassingly parallel across cores —
-    # re-run the widest space with one worker per core and check the
-    # fan-out returns the identical plan.
-    parallel = last_tuner.search(spec.global_batch, parallelism=0)
-    assert parallel.best_plan == last_tuned.best_plan
-    times["Mist (parallel S,G)"] = parallel.tuning_time_seconds
-    configs["Mist (parallel S,G)"] = parallel.configurations_evaluated
+    times = {name: entry["seconds"]
+             for name, entry in mist["per_space"].items()}
+    configs = {name: entry["configurations_evaluated"]
+               for name, entry in mist["per_space"].items()}
+    times["Mist (parallel S,G)"] = mist["parallel"]["seconds"]
 
-    aceso = AcesoTuner(spec.model, cluster, seq_len=spec.seq_len)
+    aceso = AcesoTuner(spec.model, spec.cluster, seq_len=spec.seq_len)
     aceso_result = aceso.tune(spec.global_batch)
     times["Aceso"] = aceso_result.tuning_time_seconds
 
@@ -77,12 +51,14 @@ def _measure():
     times["simulation-based (est.)"] = (
         10 ** min(log10_parallel, 12) * SIMULATION_SECONDS_PER_CONFIG
     )
-    return times, configs
+    return times, configs, mist
 
 
 def test_fig16_tuning_time(report, benchmark):
-    times, configs = benchmark.pedantic(_measure, rounds=1, iterations=1)
-    spec = _spec()
+    times, configs, mist = benchmark.pedantic(_measure, rounds=1,
+                                              iterations=1)
+    scale = current_scale()
+    spec = fig16_spec(scale.name)
     rows = {
         name: [f"{seconds:,.1f}",
                f"{configs.get(name, '-')}"]
@@ -94,14 +70,27 @@ def test_fig16_tuning_time(report, benchmark):
     ))
 
     mist_names = [space.name for space in INCREMENTAL_SPACES]
-    # larger spaces evaluate more configurations
-    evaluated = [configs[name] for name in mist_names]
-    assert evaluated == sorted(evaluated), evaluated
-    assert evaluated[-1] > 3 * evaluated[0]
 
     # every Mist tuning run finishes in interactive time on this scale
     for name in mist_names:
         assert times[name] < 600, (name, times[name])
+
+    # the prune-and-memoize engine accounts for every (S, G) cell ...
+    for name in mist_names:
+        stats = mist["per_space"][name]["stats"]
+        assert stats["cells_explored"] + stats["cells_pruned"] \
+            + stats["cells_infeasible"] == stats["cells_total"], stats
+    # ... and actually prunes / prefilters on the widest space
+    widest = mist["per_space"][mist_names[-1]]["stats"]
+    if scale.name != "smoke":  # smoke grids are tiny; counters may hit 0
+        assert widest["cells_pruned"] > 0, widest
+        assert widest["configs_prefiltered"] > 0, widest
+
+    # §5.3: the (S, G) grid is embarrassingly parallel across cores —
+    # the fan-out re-run returns the identical plan, served by the
+    # shared menu memo
+    assert mist["parallel"]["matches_serial"]
+    assert mist["parallel"]["memo_hits"] > 0
 
     # simulation-per-configuration search is astronomically slower
     assert times["simulation-based (est.)"] > 1000 * times[mist_names[-1]]

@@ -6,11 +6,16 @@ an ephemeral port with a throwaway plan-cache directory, then:
 
 1. waits for the startup banner and `GET /healthz`;
 2. POSTs a tiny tuning job (smoke scale, no interference calibration)
-   and waits for completion;
+   and waits for completion — `/metrics` must now carry the
+   prune-and-memoize search counters of that solve;
 3. POSTs the identical job again and asserts it is answered from the
    shared plan cache with no second solver invocation — per the
    `/metrics` counters;
-4. shuts the daemon down.
+4. POSTs a search-budget variant of the same workload (different
+   fingerprint, so the plan cache misses and a real search runs) and
+   asserts the process-wide menu memo served it: memo hits > 0 on the
+   repeated search, identical plan;
+5. shuts the daemon down.
 
 Exit code 0 on success. Runs in ~10s.
 
@@ -19,6 +24,7 @@ Usage: python scripts/service_smoke.py  (from the repo root)
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import re
 import subprocess
@@ -33,8 +39,13 @@ sys.path.insert(0, str(ROOT / "src"))
 from repro.api import TuningJob  # noqa: E402
 from repro.service import Client  # noqa: E402
 
-JOB = TuningJob(model="gpt3-1.3b", gpu="L4", num_gpus=2, global_batch=16,
+JOB = TuningJob(model="gpt3-1.3b", gpu="L4", num_gpus=4, global_batch=16,
                 scale="smoke", interference="none")
+#: same workload, different free-form options -> different fingerprint
+#: (parallelism alone would not change it): misses the plan cache but
+#: replays every memoized stage subproblem from the first solve
+VARIANT_JOB = dataclasses.replace(JOB, parallelism=2,
+                                  options={"note": "memo-proof"})
 
 
 def main() -> int:
@@ -65,6 +76,15 @@ def main() -> int:
             print(f"cold solve: {first.throughput:.2f} samples/s "
                   f"in {cold:.1f}s")
 
+            metrics = client.metrics()
+            search = metrics["search"]
+            assert search["cells_total"] > 0, metrics
+            assert search["cells_explored"] > 0, metrics
+            assert search["memo_misses"] > 0, metrics
+            print(f"search counters: {search['cells_explored']} explored / "
+                  f"{search['cells_pruned']} pruned / "
+                  f"{search['configs_prefiltered']} prefiltered")
+
             start = time.perf_counter()
             second = client.solve(JOB, solver="mist", timeout=30)
             warm = time.perf_counter() - start
@@ -77,6 +97,20 @@ def main() -> int:
             assert metrics["cache"]["misses"] == 1, metrics
             print(f"metrics prove it: invocations=1 hits=1 "
                   f"(cold {cold:.1f}s -> warm {warm:.3f}s)")
+
+            # a repeated search on the same workload (budget variant ->
+            # cache miss) must be served by the process-wide menu memo
+            start = time.perf_counter()
+            third = client.solve(VARIANT_JOB, solver="mist", timeout=300)
+            memoized = time.perf_counter() - start
+            assert not third.from_cache
+            assert third.plan == first.plan, "memoized plan drifted"
+            metrics = client.metrics()
+            assert metrics["solver"]["invocations"] == 2, metrics
+            assert metrics["search"]["memo_hits"] > 0, metrics
+            print(f"memo proves it: memo_hits="
+                  f"{metrics['search']['memo_hits']} on the repeated "
+                  f"search ({memoized:.1f}s)")
         finally:
             daemon.terminate()
             try:

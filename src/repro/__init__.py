@@ -57,7 +57,7 @@ from .hardware import (
 from .models import ModelConfig, get_model, list_models
 from . import api
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ClusterSpec",

@@ -46,6 +46,10 @@ class SolveReport:
     configurations_evaluated: int = 0
     #: per-candidate diagnostics, solver-specific entries
     search_log: list = field(default_factory=list)
+    #: explored/pruned/memo-hit counters from the prune-and-memoize
+    #: search engine (``SearchStats.to_dict()``; empty for solvers
+    #: without one) — aggregated into the service ``/metrics``
+    search_stats: dict = field(default_factory=dict)
     #: runner-executed candidate plans, best predicted first
     top_plans: list = field(default_factory=list)
     #: free-form solver extras (must stay JSON-serializable)
@@ -99,6 +103,7 @@ class SolveReport:
             "tuning_time_seconds": self.tuning_time_seconds,
             "configurations_evaluated": self.configurations_evaluated,
             "search_log": self.search_log,
+            "search_stats": self.search_stats,
             "top_plans": [plan.to_dict() for plan in self.top_plans],
             "extra": self.extra,
         }
@@ -116,6 +121,7 @@ class SolveReport:
             configurations_evaluated=int(
                 data.get("configurations_evaluated", 0)),
             search_log=list(data.get("search_log", [])),
+            search_stats=dict(data.get("search_stats", {})),
             top_plans=[TrainingPlan.from_dict(p)
                        for p in data.get("top_plans", [])],
             extra=dict(data.get("extra", {})),

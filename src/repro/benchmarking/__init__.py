@@ -1,0 +1,36 @@
+"""Reproducible performance benchmarking: the ``repro bench`` harness.
+
+This package is the single source of truth for the repo's recorded
+perf trajectory:
+
+* :mod:`repro.benchmarking.fig16` measures the paper's Figure 16
+  tuning-time experiment (shared with
+  ``benchmarks/test_fig16_tuning_time.py`` so the pytest benchmark and
+  the CLI harness can never drift apart);
+* :mod:`repro.benchmarking.bench` runs the suite at a chosen scale,
+  emits the schema'd ``BENCH_4.json`` snapshot, validates the pruned
+  search against the exhaustive reference (plan hashes must match
+  bit for bit), and compares wall time against a committed baseline —
+  the artifact and the gate the CI ``perf`` job is built on.
+"""
+
+from .bench import (
+    BENCH_SCHEMA,
+    check_against_baseline,
+    format_bench,
+    plan_hash,
+    run_bench,
+    validate_bench,
+)
+from .fig16 import fig16_spec, measure_fig16
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "check_against_baseline",
+    "fig16_spec",
+    "format_bench",
+    "measure_fig16",
+    "plan_hash",
+    "run_bench",
+    "validate_bench",
+]

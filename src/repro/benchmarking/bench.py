@@ -1,0 +1,209 @@
+"""The ``repro bench`` snapshot: schema, runner, and regression gates.
+
+One invocation produces a ``BENCH_4.json`` document::
+
+    {
+      "schema": "repro-bench/1",
+      "scale": "smoke",
+      "environment": {"python": ..., "platform": ..., "cpu_count": ...,
+                      "version": ...},
+      "benchmarks": {
+        "fig16_tuning_time":          {... pruned engine ...},
+        "fig16_exhaustive_reference": {... reference path ...}
+      },
+      "derived": {
+        "fig16_speedup": <exhaustive wall / pruned wall>,
+        "plans_match_exhaustive": true
+      }
+    }
+
+Gates (used by the CI ``perf`` job):
+
+* :func:`validate_bench` — internal consistency: every pruned plan
+  hash must equal the exhaustive reference's, the parallel fan-out
+  must return the serial plan, and the pruned/memo-hit counters must
+  be nonzero (a silent fallback to exhaustive search would otherwise
+  pass unnoticed);
+* :func:`check_against_baseline` — wall-time regression against the
+  committed baseline snapshot (default threshold: 25%), plus a schema /
+  scale sanity check.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+
+from repro import __version__
+from repro.evaluation.workloads import get_scale
+
+from .fig16 import measure_fig16, plan_hash
+
+__all__ = ["BENCH_SCHEMA", "check_against_baseline", "format_bench",
+           "plan_hash", "run_bench", "validate_bench"]
+
+BENCH_SCHEMA = "repro-bench/1"
+
+#: the benchmark whose wall time the baseline gate watches
+PRIMARY_BENCH = "fig16_tuning_time"
+REFERENCE_BENCH = "fig16_exhaustive_reference"
+
+
+def run_bench(scale_name: str = "smoke", *,
+              include_exhaustive: bool = True) -> dict:
+    """Run the benchmark suite at ``scale_name`` and build the snapshot.
+
+    ``include_exhaustive=False`` skips the exhaustive reference pass
+    (and with it the plan-hash cross-check) — useful for quick local
+    timing runs, never for the CI artifact.
+    """
+    scale = get_scale(scale_name)
+    benchmarks: dict[str, dict] = {}
+    benchmarks[PRIMARY_BENCH] = measure_fig16(
+        scale, prune=True, parallel_rerun=True)
+    derived: dict = {}
+    if include_exhaustive:
+        benchmarks[REFERENCE_BENCH] = measure_fig16(scale, prune=False)
+        pruned = benchmarks[PRIMARY_BENCH]
+        reference = benchmarks[REFERENCE_BENCH]
+        derived["fig16_speedup"] = (
+            reference["wall_time_seconds"] / pruned["wall_time_seconds"]
+            if pruned["wall_time_seconds"] > 0 else 0.0
+        )
+        derived["plans_match_exhaustive"] = (
+            pruned["plan_hashes"] == reference["plan_hashes"]
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "scale": scale.name,
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "version": __version__,
+        },
+        "benchmarks": benchmarks,
+        "derived": derived,
+    }
+
+
+def validate_bench(result: dict) -> list[str]:
+    """Internal-consistency failures of one snapshot (empty = OK)."""
+    problems: list[str] = []
+    pruned = result["benchmarks"].get(PRIMARY_BENCH)
+    if pruned is None:
+        return [f"snapshot carries no {PRIMARY_BENCH!r} benchmark"]
+    derived = result.get("derived", {})
+    if "plans_match_exhaustive" in derived and \
+            not derived["plans_match_exhaustive"]:
+        reference = result["benchmarks"][REFERENCE_BENCH]
+        drifted = sorted(
+            name for name, value in pruned["plan_hashes"].items()
+            if reference["plan_hashes"].get(name) != value
+        )
+        problems.append(
+            "pruned plans drifted from the exhaustive reference: "
+            + ", ".join(drifted)
+        )
+    parallel = pruned.get("parallel")
+    if parallel is not None and not parallel["matches_serial"]:
+        problems.append("parallel (S, G) fan-out returned a different plan "
+                        "than the serial search")
+    stats = pruned.get("stats", {})
+    if stats.get("cells_pruned", 0) <= 0:
+        problems.append("branch-and-bound pruned no (S, G) cell — the "
+                        "engine silently fell back to exhaustive search")
+    if stats.get("configs_prefiltered", 0) <= 0:
+        problems.append("memory pre-filter rejected no configuration")
+    memo_hits = stats.get("memo_hits", 0)
+    if parallel is not None:
+        memo_hits += parallel.get("memo_hits", 0)
+    if memo_hits <= 0:
+        problems.append("memoization recorded no hit across the suite")
+    return problems
+
+
+def check_against_baseline(current: dict, baseline: dict, *,
+                           max_regression: float = 0.25,
+                           min_abs_seconds: float = 1.0) -> list[str]:
+    """Regression failures vs the committed baseline (empty = OK).
+
+    A regression must exceed *both* the relative threshold and
+    ``min_abs_seconds`` of absolute drift — sub-second smoke runs are
+    scheduler-noise-dominated and would otherwise flake the gate.
+    """
+    problems: list[str] = []
+    if baseline.get("schema") != current.get("schema"):
+        problems.append(
+            f"baseline schema {baseline.get('schema')!r} does not match "
+            f"current {current.get('schema')!r} — regenerate the baseline"
+        )
+        return problems
+    if baseline.get("scale") != current.get("scale"):
+        problems.append(
+            f"baseline was recorded at scale {baseline.get('scale')!r}, "
+            f"this run is {current.get('scale')!r}"
+        )
+        return problems
+    base = baseline["benchmarks"].get(PRIMARY_BENCH, {})
+    cur = current["benchmarks"].get(PRIMARY_BENCH, {})
+    base_wall = base.get("wall_time_seconds")
+    cur_wall = cur.get("wall_time_seconds")
+    if base_wall and cur_wall and \
+            cur_wall > base_wall * (1.0 + max_regression) and \
+            cur_wall - base_wall > min_abs_seconds:
+        problems.append(
+            f"fig16 tuning wall-time regressed "
+            f"{cur_wall / base_wall - 1.0:+.0%} over the baseline "
+            f"({cur_wall:.2f}s vs {base_wall:.2f}s, "
+            f"threshold +{max_regression:.0%})"
+        )
+    return problems
+
+
+def format_bench(result: dict) -> str:
+    """Human-readable summary of one snapshot."""
+    lines = [f"repro bench — scale {result['scale']} "
+             f"(schema {result['schema']})"]
+    for name, bench in result["benchmarks"].items():
+        lines.append(f"  {name}: {bench['wall_time_seconds']:.2f}s "
+                     f"({bench['workload']})")
+        for space, entry in bench["per_space"].items():
+            stats = entry.get("stats", {})
+            detail = (f" [{stats['cells_explored']} explored / "
+                      f"{stats['cells_pruned']} pruned / "
+                      f"{stats['memo_hits']} memo-hits]"
+                      if stats else "")
+            lines.append(f"    {space:34s} {entry['seconds']:7.2f}s"
+                         f"{detail}")
+        parallel = bench.get("parallel")
+        if parallel:
+            lines.append(f"    {'parallel (S,G) re-run':34s} "
+                         f"{parallel['seconds']:7.2f}s "
+                         f"[memo_hits={parallel['memo_hits']} "
+                         f"identical={parallel['matches_serial']}]")
+    derived = result.get("derived", {})
+    if "fig16_speedup" in derived:
+        lines.append(f"  speedup vs exhaustive: "
+                     f"{derived['fig16_speedup']:.2f}x  "
+                     f"(plans match: {derived['plans_match_exhaustive']})")
+    return "\n".join(lines)
+
+
+def main_check(current: dict, baseline: dict | None, *,
+               max_regression: float = 0.25, out=None) -> int:
+    """Apply all gates; print verdicts; return a process exit code."""
+    out = out if out is not None else sys.stdout
+    problems = validate_bench(current)
+    if baseline is not None:
+        problems += check_against_baseline(
+            current, baseline, max_regression=max_regression)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=out)
+    if not problems:
+        print("bench gates: OK", file=out)
+    return 1 if problems else 0
+
+
+__all__.append("main_check")

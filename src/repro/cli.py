@@ -13,6 +13,10 @@ Commands:
 * ``serve``    — start the tuning-as-a-service HTTP daemon (job
   submission, request coalescing, shared plan cache; see
   ``docs/SERVICE.md``).
+* ``bench``    — run the perf-benchmark suite at a chosen scale, write
+  the schema'd ``BENCH_4.json`` snapshot, and gate the pruned search
+  against the exhaustive reference and (optionally) a committed
+  baseline (see ``docs/BENCHMARKS.md``).
 * ``solvers``  — list the registered solver backends.
 * ``models``   — list available model configurations.
 * ``analyze``  — predict time/memory for an explicit configuration.
@@ -291,6 +295,35 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    # imported here: the bench harness is only needed by this command
+    from repro.benchmarking import format_bench, run_bench
+    from repro.benchmarking.bench import main_check
+
+    print(f"running bench suite at scale {args.scale!r} "
+          f"(exhaustive reference: "
+          f"{'off' if args.no_exhaustive else 'on'}) ...")
+    result = run_bench(args.scale,
+                       include_exhaustive=not args.no_exhaustive)
+    print(format_bench(result))
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, sort_keys=True, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read baseline {args.baseline}: {exc}")
+            return 2
+    if args.no_exhaustive and baseline is None:
+        return 0  # timing-only run: no gates to apply
+    return main_check(result, baseline,
+                      max_regression=args.max_regression)
+
+
 def _cmd_serve(args) -> int:
     # imported here: the service pulls in asyncio plumbing no other
     # subcommand needs
@@ -402,6 +435,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--no-flash", action="store_true")
     _add_solver_args(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the perf benchmark suite, emit BENCH_4.json")
+    p_bench.add_argument("--scale", choices=sorted(SCALES), default="smoke",
+                         help="benchmark scale preset (default: smoke)")
+    p_bench.add_argument("--out", metavar="FILE", default="BENCH_4.json",
+                         help="snapshot output path (default: BENCH_4.json)")
+    p_bench.add_argument("--baseline", metavar="FILE", default=None,
+                         help="committed baseline snapshot to gate "
+                              "wall-time against")
+    p_bench.add_argument("--max-regression", type=float, default=0.25,
+                         help="tolerated fractional wall-time regression "
+                              "vs the baseline (default: 0.25)")
+    p_bench.add_argument("--no-exhaustive", action="store_true",
+                         help="skip the exhaustive reference pass "
+                              "(timing-only; disables the plan-hash gate)")
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_serve = sub.add_parser(
         "serve", help="start the tuning-as-a-service HTTP daemon")

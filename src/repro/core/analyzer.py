@@ -132,6 +132,19 @@ class SymbolicPerformanceAnalyzer:
             ],
             arg_names=_ARG_NAMES,
         )
+        # Narrow projections for the pruned search:
+        # * the memory-feasibility pre-filter evaluates peak memory alone
+        #   (cheap) to reject candidates before any runtime evaluation;
+        # * the branch-and-bound cut evaluates the compute channels alone
+        #   (fwd/bwd compute + the TP collectives serialized with it)
+        #   for its optimistic, interference-free stage-time floor.
+        # Compiled over their own free symbols (CompiledExpr.used_symbols)
+        # so calls feed only the columns the projection actually reads.
+        self._mem_fn = compile_expr([mem.peak_fwd, mem.peak_bwd])
+        self._comp_fn = compile_expr(
+            [rt.comp_fwd * comp_scale + rt.tp_fwd,
+             rt.comp_bwd * comp_scale + rt.tp_bwd],
+        )
 
     # -- environment construction ---------------------------------------------
 
@@ -190,6 +203,34 @@ class SymbolicPerformanceAnalyzer:
             peak_fwd=np.asarray(peak_fwd, dtype=float),
             peak_bwd=np.asarray(peak_bwd, dtype=float),
         )
+
+    def predict_memory(self, env: dict[str, np.ndarray]) -> np.ndarray:
+        """Peak memory alone, via the memory-only compiled projection.
+
+        Bit-identical to ``predict(env).peak_mem`` (same expression
+        trees, compiled separately) at a fraction of the cost — the
+        pruned tuner's memory-feasibility pre-filter runs this over the
+        full candidate grid and hands only the surviving rows to
+        :meth:`predict`.
+        """
+        peak_fwd, peak_bwd = self._mem_fn(
+            **{name: env[name] for name in self._mem_fn.used_symbols}
+        )
+        return np.asarray(np.maximum(peak_fwd, peak_bwd), dtype=float)
+
+    def compute_channel(self, env: dict[str, np.ndarray]) -> np.ndarray:
+        """Compute-channel busy time (fwd + bwd), interference-free.
+
+        With all interference factors >= 1 (see
+        :meth:`repro.costmodel.interference.InterferenceModel.min_factor`)
+        this never exceeds the stable microbatch time :meth:`predict`
+        returns for the same configuration — the property the
+        branch-and-bound lower bound rests on.
+        """
+        comp_fwd, comp_bwd = self._comp_fn(
+            **{name: env[name] for name in self._comp_fn.used_symbols}
+        )
+        return np.asarray(comp_fwd + comp_bwd, dtype=float)
 
     def stage_env(self, plan: TrainingPlan, stage_idx: int,
                   seq_len: int) -> dict[str, np.ndarray]:

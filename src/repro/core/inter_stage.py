@@ -45,10 +45,42 @@ __all__ = [
     "InterStageSolution",
     "StageSlot",
     "group_stage_assignments",
+    "objective_lower_bound",
     "solve",
     "solve_milp",
     "solve_exact",
 ]
+
+#: relative safety margin subtracted from lower bounds before they are
+#: compared against incumbents — absorbs float noise in the marginal
+#: per-layer cost estimate so a bound can never spuriously exceed the
+#: true objective it underestimates
+_BOUND_SAFETY = 1e-9
+
+
+def objective_lower_bound(per_layer_floor: float, total_layers: int,
+                          num_stages: int, gacc: int) -> float:
+    """Optimistic lower bound on Eq. (1) for one (S, G) cell.
+
+    ``per_layer_floor`` is a lower bound on the *compute-only,
+    interference-free* cost of one transformer layer under the cell's
+    cheapest feasible (dp, tp, b) option. Every valid partition
+    satisfies ``sum_i t_i >= L * floor`` and
+    ``max_i t_i >= ceil(L / S) * floor`` (some stage hosts at least
+    ``ceil(L / S)`` layers), and the exposed-delta term of Eq. (1) is
+    clamped at zero — so
+
+        (G - 1) * ceil(L / S) * floor  +  L * floor
+
+    never exceeds the true objective of any plan in the cell. The
+    branch-and-bound cut compares this against the current k-th-best
+    incumbent and skips the whole cell when even the bound is worse.
+    """
+    if per_layer_floor < 0:
+        per_layer_floor = 0.0
+    bound = ((gacc - 1) * math.ceil(total_layers / num_stages)
+             + total_layers) * per_layer_floor
+    return bound * (1.0 - _BOUND_SAFETY)
 
 
 class StageSlot(NamedTuple):

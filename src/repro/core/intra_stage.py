@@ -32,7 +32,61 @@ from .analyzer import SymbolicPerformanceAnalyzer
 from .plan import StageConfig
 from .spaces import SearchSpace
 
-__all__ = ["ParetoPoint", "StageShape", "IntraStageTuner"]
+__all__ = ["ParetoPoint", "StageShape", "IntraStageTuner",
+           "stage_parallelism_options"]
+
+
+def stage_parallelism_options(analyzer: SymbolicPerformanceAnalyzer,
+                              stage_gpus: int, gacc: int,
+                              global_batch: int) -> list[tuple[int, int, int]]:
+    """Feasible (dp, tp, b) triples for one stage slot.
+
+    Single source of truth for option enumeration: the intra-stage
+    tuner enumerates from it, and the pruned search's feasibility flags
+    and lower-bound floors must see the *same* options or the
+    bit-identity contract silently breaks.
+    """
+    per_wave = global_batch // gacc
+    if per_wave * gacc != global_batch:
+        return []
+    options = []
+    for dp, tp in analyzer.cluster.stage_parallelism_options(stage_gpus):
+        if analyzer.traced.config.hidden_size % tp != 0:
+            continue
+        if per_wave % dp != 0:
+            continue
+        b = per_wave // dp
+        if b >= 1:
+            options.append((dp, tp, b))
+    return options
+
+
+def _frontier_candidates(l_g: np.ndarray, t_v: np.ndarray,
+                         d_v: np.ndarray) -> np.ndarray:
+    """Mask of rows that can still reach the Pareto frontier.
+
+    Vectorized dominance pre-reduction for the prefiltered path: within
+    each layer-count group, a row ordered by ``(t, d)`` survives only if
+    its ``d`` is *strictly* below every earlier row's ``d``. Any row
+    :meth:`IntraStageTuner._pareto` would keep satisfies that (a kept
+    row's ``d`` undercuts all earlier entries by more than the
+    frontier epsilon), and rows `_pareto` skips never update its
+    running state — so dropping them here provably cannot change the
+    extracted frontier, while skipping the per-row
+    :class:`~repro.core.plan.StageConfig` construction for the
+    overwhelmingly dominated bulk.
+    """
+    keep = np.zeros(l_g.size, dtype=bool)
+    order = np.lexsort((d_v, t_v, l_g))  # stable: by l, then t, then d
+    l_s = l_g[order]
+    d_s = d_v[order]
+    starts = np.flatnonzero(np.r_[True, l_s[1:] != l_s[:-1]])
+    ends = np.r_[starts[1:], l_s.size]
+    for s, e in zip(starts, ends):
+        seg = d_s[s:e]
+        prev_min = np.r_[np.inf, np.minimum.accumulate(seg)[:-1]]
+        keep[order[s:e][seg < prev_min]] = True
+    return keep
 
 
 @dataclass(frozen=True)
@@ -80,8 +134,13 @@ class IntraStageTuner:
         self.global_batch = global_batch
         self.seq_len = seq_len
         self.max_pareto_points = max_pareto_points
-        #: configurations evaluated so far (tuning-time accounting)
+        #: configurations enumerated so far (tuning-time accounting);
+        #: includes rows the memory pre-filter later rejected, so the
+        #: count is identical with and without pre-filtering
         self.evaluated = 0
+        #: configurations the symbolic memory pre-filter rejected before
+        #: any runtime evaluation (always 0 when tuning without it)
+        self.prefiltered = 0
 
     # -- grids ---------------------------------------------------------------
 
@@ -102,30 +161,25 @@ class IntraStageTuner:
 
     def _parallelism_options(self, shape: StageShape) -> list[tuple[int, int, int]]:
         """Feasible (dp, tp, b) triples for this stage."""
-        options = []
-        per_wave = self.global_batch // shape.gacc
-        if per_wave * shape.gacc != self.global_batch:
-            return []
-        for dp, tp in self.analyzer.cluster.stage_parallelism_options(
-                shape.stage_gpus):
-            if self.analyzer.traced.config.hidden_size % tp != 0:
-                continue
-            if per_wave % dp != 0:
-                continue
-            b = per_wave // dp
-            if b < 1:
-                continue
-            options.append((dp, tp, b))
-        return options
+        return stage_parallelism_options(
+            self.analyzer, shape.stage_gpus, shape.gacc, self.global_batch)
 
     # -- tuning -----------------------------------------------------------------
 
-    def tune(self, shape: StageShape,
-             layer_counts: list[int]) -> dict[int, list[ParetoPoint]]:
+    def tune(self, shape: StageShape, layer_counts: list[int], *,
+             prefilter: bool = False) -> dict[int, list[ParetoPoint]]:
         """Pareto frontiers per layer count: ``{l: [ParetoPoint, ...]}``.
 
         Returns an empty list for layer counts with no feasible (within
         memory budget) configuration.
+
+        ``prefilter=True`` enables the symbolic memory-feasibility
+        pre-filter: peak memory is evaluated first through the
+        analyzer's memory-only projection and candidates over budget
+        are dropped *before* the (more expensive) runtime evaluation.
+        The surviving menus are bit-identical either way — the filter
+        applies the exact constraint the post-evaluation check applies,
+        just earlier.
         """
         self._gacc = shape.gacc
         menus: dict[int, list[tuple[float, float, float, StageConfig]]] = {
@@ -180,11 +234,32 @@ class IntraStageTuner:
                 has_post=np.full(n, int(shape.has_post)),
                 **hw,
             )
+            if prefilter:
+                fits_mem = (self.analyzer.predict_memory(env)
+                            <= self.analyzer.memory_budget)
+                self.prefiltered += int(n - fits_mem.sum())
+                if not fits_mem.any():
+                    continue
+                if not fits_mem.all():
+                    env = {name: (value[fits_mem]
+                                  if getattr(value, "ndim", 0) >= 1
+                                  else value)
+                           for name, value in env.items()}
+                    l_g, ckpt_g, zero_g = (l_g[fits_mem], ckpt_g[fits_mem],
+                                           zero_g[fits_mem])
+                    wo_g, go_g = wo_g[fits_mem], go_g[fits_mem]
+                    oo_g, ao_g = oo_g[fits_mem], ao_g[fits_mem]
             pred = self.analyzer.predict(env)
 
             fits = pred.peak_mem <= self.analyzer.memory_budget
             if not fits.any():
                 continue
+            if prefilter:
+                # every row already fits; cheaply discard dominated rows
+                # before the per-row StageConfig construction
+                fits &= _frontier_candidates(
+                    l_g, np.asarray(pred.t_stable, dtype=float),
+                    np.asarray(pred.delta, dtype=float))
             idx_fit = np.nonzero(fits)[0]
             for i in idx_fit:
                 cfg = StageConfig(

@@ -17,6 +17,33 @@ Fig. 16): :meth:`MistTuner.search` fans the per-``(S, G)`` solves over a
 thread pool when ``parallelism > 1``, and merges results in enumeration
 order so the chosen plan is identical to the serial path.
 
+Pruning (Fig. 16's tractability claim): by default the search runs the
+**prune-and-memoize engine** instead of exhaustively solving every
+cell, while still returning bit-identical plans:
+
+* a *memory-feasibility pre-filter* evaluates the symbolic peak-memory
+  expressions alone and rejects over-budget configurations before any
+  runtime cost evaluation (:meth:`IntraStageTuner.tune` with
+  ``prefilter=True`` — the exact constraint, applied earlier);
+* a *branch-and-bound cut* orders cells by an optimistic compute-only,
+  interference-free lower bound
+  (:func:`repro.core.inter_stage.objective_lower_bound`), seeds the
+  first incumbent from the cell a Megatron-style uniform heuristic
+  prefers, and skips any cell whose bound already exceeds the current
+  ``keep_top``-th best incumbent — so ``top_plans`` stays identical,
+  not just the winner. Incumbents come only from solved cells (the
+  heuristic chooses *where to look first*, never the bound itself),
+  which is what makes the bit-identity guarantee unconditional;
+* a *keyed memoization layer* (:class:`repro.core.memo.MenuMemo`)
+  shares identical stage-cost subproblems — same layer slice, device
+  group, parallelism, budget — across cells, across the parallel
+  fan-out workers, and across repeated searches.
+
+Explored/pruned/memo-hit counters are reported per search in
+:class:`SearchStats` (surfaced as ``SolveReport.search_stats`` and in
+the service ``/metrics``). ``prune=False`` restores the exhaustive
+reference path the property tests and `repro bench` compare against.
+
 On a :class:`~repro.hardware.HeterogeneousCluster` the outer loop
 additionally enumerates stage -> device-group assignments
 (:func:`repro.core.inter_stage.group_stage_assignments`): each group
@@ -35,6 +62,8 @@ v2.0 — use :meth:`MistTuner.search` or :func:`repro.api.solve`.
 
 from __future__ import annotations
 
+import bisect
+import math
 import os
 import threading
 import time
@@ -52,21 +81,88 @@ from repro.tracing import trace
 
 from . import inter_stage
 from .analyzer import SymbolicPerformanceAnalyzer
-from .inter_stage import StageSlot, group_stage_assignments
-from .intra_stage import IntraStageTuner, StageShape
-from .objectives import throughput
+from .inter_stage import (
+    StageSlot,
+    group_stage_assignments,
+    objective_lower_bound,
+)
+from .intra_stage import (
+    IntraStageTuner,
+    StageShape,
+    stage_parallelism_options,
+)
+from .memo import GLOBAL_MENU_MEMO, MemoEntry, MenuMemo
+from .objectives import pipeline_iteration_time, throughput
 from .plan import TrainingPlan
 from .spaces import SPACE_MIST, SearchSpace
 
-__all__ = ["MistTuner", "SearchCancelled", "TuningResult"]
+__all__ = ["MistTuner", "SearchCancelled", "SearchStats", "TuningResult"]
 
 
 class SearchCancelled(RuntimeError):
     """Raised when a ``should_stop`` hook aborts a running search.
 
-    Cooperative: the tuner polls the hook between (S, G) cells, so a
-    cancellation lands at the next cell boundary, never mid-solve.
+    Cooperative: the tuner polls the hook between (S, G) cells —
+    explored *and* pruned — so a cancellation lands at the next cell
+    boundary, never mid-solve.
     """
+
+
+@dataclass
+class SearchStats:
+    """Explored/pruned/memoized accounting for one search.
+
+    ``configs_evaluated`` / ``configs_prefiltered`` are *deterministic*
+    regardless of memo warmth: a memo hit replays the counters the
+    original computation recorded. ``memo_hits`` / ``memo_misses`` are
+    the telemetry that distinguishes replay from fresh work. Under a
+    parallel pruned search the explored/pruned split may vary slightly
+    run-to-run (incumbents arrive in timing-dependent order); the
+    returned plans never do.
+    """
+
+    #: False when the search ran the exhaustive reference path
+    prune: bool = True
+    cells_total: int = 0
+    cells_explored: int = 0
+    #: cells skipped by the branch-and-bound cut
+    cells_pruned: int = 0
+    #: cells with no feasible (dp, tp, b) option at all
+    cells_infeasible: int = 0
+    configs_evaluated: int = 0
+    configs_prefiltered: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    #: False disables the bound cut (e.g. interference factors < 1)
+    bound_pruning: bool = True
+    #: Megatron-style heuristic seed cell, when one was feasible:
+    #: ``{"num_stages": S, "gacc": G, "objective": predicted}``
+    seed: dict | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "prune": self.prune,
+            "cells_total": self.cells_total,
+            "cells_explored": self.cells_explored,
+            "cells_pruned": self.cells_pruned,
+            "cells_infeasible": self.cells_infeasible,
+            "configs_evaluated": self.configs_evaluated,
+            "configs_prefiltered": self.configs_prefiltered,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "bound_pruning": self.bound_pruning,
+            "seed": dict(self.seed) if self.seed else None,
+        }
+
+
+@dataclass
+class _CellCounts:
+    """Per-cell work accounting, merged into :class:`SearchStats`."""
+
+    evaluated: int = 0
+    prefiltered: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
 
 
 @dataclass
@@ -85,10 +181,41 @@ class TuningResult:
     #: benchmark-one-case step), which de-biases the winner's curse of
     #: picking the argmin of noisy predictions
     top_plans: list[TrainingPlan] = field(default_factory=list)
+    #: explored/pruned/memo-hit accounting for this search
+    stats: "SearchStats | None" = None
 
     @property
     def found(self) -> bool:
         return self.best_plan is not None
+
+
+class _Incumbents:
+    """Thread-safe k-best objective tracker for the bound cut.
+
+    The cut may skip a cell only when its optimistic bound exceeds the
+    *k-th best solved* objective (k = ``keep_top``): anything pruned is
+    then provably outside the final top-k, so ``top_plans`` — not just
+    the winner — matches the exhaustive search bit for bit. A stale
+    (worse) threshold read under contention only makes the cut more
+    conservative, never wrong.
+    """
+
+    def __init__(self, k: int):
+        self._k = k
+        self._lock = threading.Lock()
+        self._best: list[float] = []
+
+    def offer(self, objective: float) -> None:
+        with self._lock:
+            bisect.insort(self._best, objective)
+            del self._best[self._k:]
+
+    def threshold(self) -> float:
+        """The k-th best objective so far, or +inf before k solutions."""
+        with self._lock:
+            if len(self._best) < self._k:
+                return math.inf
+            return self._best[-1]
 
 
 class MistTuner:
@@ -139,6 +266,18 @@ class MistTuner:
             self.analyzer = self.analyzers[self.hetero.groups[0].name]
         self.max_pareto_points = max_pareto_points
         self.max_gacc_candidates = max_gacc_candidates
+        # Everything a memoized stage-cost subproblem depends on besides
+        # its StageShape/layer counts/global batch. Frozen-dataclass
+        # reprs spell out every field, so two tuners share memo entries
+        # only when their cost models are parameter-identical; false
+        # *misses* (e.g. differently-ordered dicts) merely lose sharing.
+        self._memo_scope = (
+            repr(self.model), repr(self.cluster), self.seq_len, self.flash,
+            repr(self.space),
+            tuple(sorted((name, analyzer.interference.fingerprint())
+                         for name, analyzer in self.analyzers.items())),
+            self.max_pareto_points,
+        )
 
     @staticmethod
     def _group_interference(interference, group_name: str):
@@ -227,21 +366,40 @@ class MistTuner:
 
     def search(self, global_batch: int, *, parallelism: int = 1,
                verbose: bool = False, keep_top: int = 3,
-               progress=None, should_stop=None) -> TuningResult:
-        """Solve every (S, G) candidate and return the ranked outcome.
+               progress=None, should_stop=None, prune: bool = True,
+               memo: MenuMemo | None = None) -> TuningResult:
+        """Solve the (S, G) grid and return the ranked outcome.
+
+        ``prune=True`` (the default) runs the prune-and-memoize engine:
+        memory-infeasible configurations are rejected symbolically
+        before cost evaluation, cells whose optimistic lower bound
+        exceeds the ``keep_top``-th best solved objective are skipped,
+        and identical stage-cost subproblems are served from ``memo``
+        (default: the process-wide
+        :data:`~repro.core.memo.GLOBAL_MENU_MEMO`). The returned
+        ``best_plan`` / ``top_plans`` / objectives are bit-identical to
+        ``prune=False``, which runs the exhaustive reference path.
 
         ``parallelism > 1`` fans the independent per-(S, G) solves over
         that many worker threads (``0`` means one per CPU core); results
         are merged in enumeration order, so the returned plans are
         identical regardless of worker count.
 
-        ``progress(done, total)`` is invoked after every solved (S, G)
-        cell (from worker threads when parallel — keep it cheap and
-        thread-safe). ``should_stop()`` is polled before each cell; the
-        first ``True`` raises :class:`SearchCancelled`, discarding
-        partial results. Both hooks exist for long-running callers (the
-        ``repro serve`` daemon) that need liveness and cancellation.
+        ``progress(done, total)`` is invoked after every handled (S, G)
+        cell — solved or pruned — (from worker threads when parallel —
+        keep it cheap and thread-safe). ``should_stop()`` is polled
+        before each cell; the first ``True`` raises
+        :class:`SearchCancelled`, discarding partial results. Both hooks
+        exist for long-running callers (the ``repro serve`` daemon) that
+        need liveness and cancellation.
         """
+        if prune:
+            return self._search_pruned(
+                global_batch, parallelism=parallelism, verbose=verbose,
+                keep_top=keep_top, progress=progress,
+                should_stop=should_stop,
+                memo=memo if memo is not None else GLOBAL_MENU_MEMO,
+            )
         start = time.perf_counter()
         grid = self._sg_grid(global_batch)
         total = len(grid)
@@ -291,15 +449,29 @@ class MistTuner:
             if solution:
                 candidates.append((
                     solution.objective,
-                    TrainingPlan(
-                        global_batch=global_batch,
-                        gacc=gacc,
-                        stages=tuple(p.config for p in solution.choices),
-                        source=f"mist[{self.space.name}]",
-                    ),
+                    self._plan_from_solution(solution, global_batch, gacc),
                 ))
 
         candidates.sort(key=lambda item: item[0])
+        stats = SearchStats(
+            prune=False, cells_total=total, cells_explored=total,
+            configs_evaluated=evaluated, bound_pruning=False,
+        )
+        return self._result(candidates, global_batch, start, evaluated,
+                            search_log, keep_top, stats)
+
+    def _plan_from_solution(self, solution, global_batch: int,
+                            gacc: int) -> TrainingPlan:
+        return TrainingPlan(
+            global_batch=global_batch,
+            gacc=gacc,
+            stages=tuple(p.config for p in solution.choices),
+            source=f"mist[{self.space.name}]",
+        )
+
+    def _result(self, candidates, global_batch: int, start: float,
+                evaluated: int, search_log: list, keep_top: int,
+                stats: SearchStats) -> TuningResult:
         best_objective = candidates[0][0] if candidates else np.inf
         best_plan = candidates[0][1] if candidates else None
         elapsed = time.perf_counter() - start
@@ -314,7 +486,428 @@ class MistTuner:
             configurations_evaluated=evaluated,
             search_log=search_log,
             top_plans=[plan for _, plan in candidates[:keep_top]],
+            stats=stats,
         )
+
+    # -- pruned search ------------------------------------------------------
+
+    def _search_pruned(self, global_batch: int, *, parallelism: int,
+                       verbose: bool, keep_top: int, progress, should_stop,
+                       memo: MenuMemo) -> TuningResult:
+        start = time.perf_counter()
+        grid = self._sg_grid(global_batch)
+        total = len(grid)
+        stats = SearchStats(cells_total=total)
+        # The bound argument needs every interference factor >= 1 (see
+        # InterferenceModel.min_factor); a physically meaningless model
+        # silently falls back to prefilter + memoization only.
+        bound_ok = all(a.interference.min_factor() >= 1.0
+                       for a in self.analyzers.values())
+        stats.bound_pruning = bound_ok
+        bounds, feasible = self._cell_bounds(global_batch, grid)
+        seed_idx = None
+        if self.hetero is None:
+            seed_idx, seed_info = self._heuristic_seed(
+                global_batch, grid, feasible)
+            stats.seed = seed_info
+        order = sorted(
+            range(total),
+            key=lambda i: (i != seed_idx, bounds[i], i),
+        )
+
+        incumbents = _Incumbents(keep_top)
+        outcomes: list = [None] * total
+        done_lock = threading.Lock()
+        done = [0]
+
+        def _process(idx: int) -> None:
+            if should_stop is not None and should_stop():
+                raise SearchCancelled(
+                    f"search cancelled after {done[0]}/{total} cells")
+            if not feasible[idx]:
+                outcomes[idx] = ("infeasible", None, _CellCounts())
+            elif bound_ok and bounds[idx] > incumbents.threshold():
+                outcomes[idx] = ("pruned", None, _CellCounts())
+            else:
+                solution, counts = self._tune_pipeline_memo(
+                    global_batch, grid[idx], memo,
+                    threshold=(incumbents.threshold() if bound_ok
+                               else math.inf))
+                if solution:
+                    incumbents.offer(solution.objective)
+                outcomes[idx] = ("explored", solution, counts)
+            with done_lock:
+                done[0] += 1
+                if progress is not None:
+                    progress(done[0], total)
+
+        workers = parallelism if parallelism > 0 else (os.cpu_count() or 1)
+        if workers > 1 and total > 1:
+            with ThreadPoolExecutor(
+                    max_workers=min(workers, total)) as pool:
+                list(pool.map(_process, order))
+        else:
+            for idx in order:
+                _process(idx)
+
+        candidates: list[tuple[float, int, TrainingPlan]] = []
+        search_log: list[dict] = []
+        evaluated = 0
+        for idx, (num_stages, _, gacc, _, assignment) in enumerate(grid):
+            status, solution, counts = outcomes[idx]
+            evaluated += counts.evaluated
+            stats.configs_evaluated += counts.evaluated
+            stats.configs_prefiltered += counts.prefiltered
+            stats.memo_hits += counts.memo_hits
+            stats.memo_misses += counts.memo_misses
+            if status == "explored":
+                stats.cells_explored += 1
+            elif status == "pruned":
+                stats.cells_pruned += 1
+            else:
+                stats.cells_infeasible += 1
+            entry = {
+                "num_stages": num_stages,
+                "gacc": gacc,
+                "objective": float(solution.objective) if solution else None,
+                "status": status,
+            }
+            if math.isfinite(bounds[idx]):
+                entry["bound"] = float(bounds[idx])
+            if assignment is not None:
+                entry["groups"] = [slot.group for slot in assignment]
+            search_log.append(entry)
+            if verbose:  # pragma: no cover - console aid
+                obj = entry["objective"]
+                detail = (f"{obj * 1e3:.1f} ms" if obj is not None
+                          else status)
+                print(f"  S={num_stages} G={gacc}: {detail}")
+            if solution:
+                candidates.append((
+                    solution.objective, idx,
+                    self._plan_from_solution(solution, global_batch, gacc),
+                ))
+
+        # ties resolve by enumeration order — the same order the stable
+        # sort of the exhaustive path preserves
+        candidates.sort(key=lambda item: (item[0], item[1]))
+        ranked = [(obj, plan) for obj, _, plan in candidates]
+        return self._result(ranked, global_batch, start, evaluated,
+                            search_log, keep_top, stats)
+
+    def _cell_bounds(self, global_batch: int,
+                     grid: list[tuple]) -> tuple[list[float], list[bool]]:
+        """Optimistic lower bound + feasibility flag per (S, G) cell.
+
+        The bound is compute-only and interference-free: for every
+        unique (device group, stage GPUs, gacc) slot the marginal
+        per-layer compute-channel time of its cheapest (dp, tp, b)
+        option is measured with two batched evaluations (l=1 vs l=2),
+        then composed through
+        :func:`~repro.core.inter_stage.objective_lower_bound`. A cell
+        with a slot that has no (dp, tp, b) option at all is flagged
+        infeasible (the exhaustive path would explore it and find
+        nothing).
+        """
+        slot_keys: set[tuple[str, int, int]] = set()
+        for num_stages, stage_gpus, gacc, _, assignment in grid:
+            if assignment is None:
+                slot_keys.add(("", stage_gpus, gacc))
+            else:
+                for slot in assignment:
+                    slot_keys.add((slot.group, slot.stage_gpus, gacc))
+
+        floors: dict[tuple[str, int, int], float | None] = {}
+        by_group: dict[str, list[tuple]] = {}
+        for group, stage_gpus, gacc in slot_keys:
+            analyzer = self.analyzers[group]
+            options = stage_parallelism_options(
+                analyzer, stage_gpus, gacc, global_batch)
+            if not options:
+                floors[(group, stage_gpus, gacc)] = None
+                continue
+            by_group.setdefault(group, []).append(
+                ((group, stage_gpus, gacc), options))
+
+        for group, entries in by_group.items():
+            analyzer = self.analyzers[group]
+            rows = [(dp, tp, b, gacc, layers)
+                    for (_, _, gacc), options in entries
+                    for dp, tp, b in options
+                    for layers in (1, 2)]
+            n = len(rows)
+            dp_a, tp_a, b_a, gacc_a, l_a = (
+                np.array([row[i] for row in rows], dtype=float)
+                for i in range(5)
+            )
+            env = analyzer.build_env(
+                b=b_a, s=np.full(n, self.seq_len), tp=tp_a, dp=dp_a,
+                l=l_a, ckpt=np.zeros(n),
+                z1=np.zeros(n), z2=np.zeros(n), z3=np.zeros(n),
+                wo=np.zeros(n), go=np.zeros(n), oo=np.zeros(n),
+                ao=np.zeros(n),
+                gacc=gacc_a, inflight=np.ones(n),
+                has_pre=np.zeros(n), has_post=np.zeros(n),
+            )
+            comp = analyzer.compute_channel(env)
+            pos = 0
+            for key, options in entries:
+                floor = math.inf
+                for _ in options:
+                    marginal = float(comp[pos + 1] - comp[pos])
+                    floor = min(floor, max(0.0, marginal))
+                    pos += 2
+                floors[key] = floor
+
+        bounds: list[float] = []
+        feasible: list[bool] = []
+        total_layers = self.model.num_layers
+        for num_stages, stage_gpus, gacc, _, assignment in grid:
+            if assignment is None:
+                slot_floors = [floors[("", stage_gpus, gacc)]]
+            else:
+                slot_floors = [floors[(s.group, s.stage_gpus, gacc)]
+                               for s in assignment]
+            if any(f is None for f in slot_floors):
+                bounds.append(math.inf)
+                feasible.append(False)
+                continue
+            bounds.append(objective_lower_bound(
+                min(slot_floors), total_layers, num_stages, gacc))
+            feasible.append(True)
+        return bounds, feasible
+
+    def _heuristic_seed(self, global_batch: int, grid: list[tuple],
+                        feasible: list[bool]):
+        """Pick the cell a Megatron-style uniform layout prefers.
+
+        For every feasible homogeneous cell, price the uniform
+        heuristic candidates — balanced layer split, one shared
+        (dp, tp, b) option, distributed optimizer (ZeRO-1 when the
+        space allows it), full-or-none recomputation, no offloading —
+        in a single batched prediction, and return the cell whose best
+        memory-feasible candidate predicts the lowest Eq. (1)
+        objective. That cell is solved *first*, so the branch-and-bound
+        cut starts from a strong incumbent; the heuristic objective
+        itself is advisory (recorded in :class:`SearchStats`) and never
+        used as a bound, which keeps bit-identity unconditional.
+        """
+        space = self.space
+        zero = 1 if 1 in space.zero_levels else space.zero_levels[0]
+        total_layers = self.model.num_layers
+        rows: list[tuple] = []
+        row_meta: list[tuple[int, int]] = []  # (cell idx, candidate id)
+        for idx, (num_stages, stage_gpus, gacc, _, assignment) in \
+                enumerate(grid):
+            if assignment is not None or not feasible[idx]:
+                continue
+            options = stage_parallelism_options(
+                self.analyzer, stage_gpus, gacc, global_batch)
+            base, extra = divmod(total_layers, num_stages)
+            candidate = 0
+            for dp, tp, b in options:
+                ckpt_choices = ((lambda l: l),) if space.ckpt_policy == "full" \
+                    else ((lambda l: 0), (lambda l: l))
+                for ckpt_of in ckpt_choices:
+                    for pos in range(num_stages):
+                        layers = base + (1 if pos < extra else 0)
+                        rows.append((
+                            dp, tp, b, layers, ckpt_of(layers), zero, gacc,
+                            min(gacc, num_stages - pos),
+                            int(pos == 0), int(pos == num_stages - 1),
+                        ))
+                        row_meta.append((idx, candidate))
+                    candidate += 1  # one candidate per (option, ckpt)
+        if not rows:
+            return None, None
+
+        n = len(rows)
+        cols = [np.array([row[i] for row in rows], dtype=float)
+                for i in range(10)]
+        dp_a, tp_a, b_a, l_a, ckpt_a, zero_a, gacc_a, inflight_a, \
+            pre_a, post_a = cols
+        env = self.analyzer.build_env(
+            b=b_a, s=np.full(n, self.seq_len), tp=tp_a, dp=dp_a,
+            l=l_a, ckpt=ckpt_a,
+            z1=(zero_a >= 1).astype(float),
+            z2=(zero_a >= 2).astype(float),
+            z3=(zero_a >= 3).astype(float),
+            wo=np.zeros(n), go=np.zeros(n), oo=np.zeros(n), ao=np.zeros(n),
+            gacc=gacc_a, inflight=inflight_a,
+            has_pre=pre_a, has_post=post_a,
+        )
+        pred = self.analyzer.predict(env)
+        fits = pred.peak_mem <= self.analyzer.memory_budget
+
+        best_idx, best_obj, best_gacc, best_stages = None, math.inf, 0, 0
+        pos = 0
+        while pos < n:
+            idx, candidate = row_meta[pos]
+            end = pos
+            while end < n and row_meta[end] == (idx, candidate):
+                end += 1
+            if bool(fits[pos:end].all()):
+                gacc = int(gacc_a[pos])
+                objective = pipeline_iteration_time(
+                    pred.t_stable[pos:end], pred.delta[pos:end], gacc)
+                if objective < best_obj:
+                    best_idx, best_obj = idx, objective
+                    best_gacc, best_stages = gacc, end - pos
+            pos = end
+        if best_idx is None:
+            return None, None
+        return best_idx, {
+            "num_stages": best_stages,
+            "gacc": best_gacc,
+            "objective": float(best_obj),
+        }
+
+    @staticmethod
+    def _cut_menus(menus: list, gacc: int,
+                   threshold: float) -> tuple[list, int]:
+        """Drop stage options that provably cannot beat ``threshold``.
+
+        For an option with stable time ``t`` in stage ``i``, every plan
+        using it costs at least ``(G - 1) * t + t + sum_{j != i}
+        min_t_j`` (Eq. 1 with the exposed-delta term clamped at zero),
+        so when that exceeds the current k-th-best incumbent the option
+        cannot appear in any plan that reaches the final top-k. Options
+        of every plan with objective <= threshold survive by the same
+        inequality, which keeps the cell's returned solution identical
+        whenever it still matters for the ranking. Menus come from the
+        (shared, immutable) memo, so the cut builds filtered copies.
+        """
+        mins = []
+        for stage in menus:
+            best = min((p.t for points in stage.values() for p in points),
+                       default=math.inf)
+            mins.append(best)
+        if any(not math.isfinite(m) for m in mins):
+            return menus, 0  # an empty stage: solve() returns None anyway
+        total_min = sum(mins)
+        cut = []
+        removed = 0
+        for i, stage in enumerate(menus):
+            others = total_min - mins[i]
+            filtered = {}
+            for l, points in stage.items():
+                kept = [p for p in points
+                        if (gacc * p.t + others) * (1.0 - 1e-9) <= threshold]
+                removed += len(points) - len(kept)
+                filtered[l] = kept
+            cut.append(filtered)
+        return cut, removed
+
+    def _tune_pipeline_memo(self, global_batch: int, task: tuple,
+                            memo: MenuMemo, *,
+                            threshold: float = math.inf):
+        """Solve one (S, G) cell through the memoized, prefiltered path.
+
+        Returns ``(solution, _CellCounts)``. Results are bit-identical
+        to :meth:`_tune_pipeline`: the memo stores pure menus keyed by
+        the full subproblem fingerprint, and a hit replays the
+        evaluated/prefiltered counters its original computation
+        recorded, keeping work accounting deterministic. A finite
+        ``threshold`` additionally applies :meth:`_cut_menus` before
+        the inter-stage solve — plans that can still reach the top-k
+        are unaffected; a cell whose optimum is already worse may
+        resolve to a (correctly ranked) weaker solution or ``None``.
+        """
+        num_stages, stage_gpus, gacc, layer_counts, assignment = task
+        counts = _CellCounts()
+        intra: dict[str, IntraStageTuner] = {}
+        seen_in_cell: set[tuple] = set()
+
+        def menus_for(group: str, shape: StageShape, lcounts: list[int]):
+            key = (self._memo_scope, global_batch, shape, tuple(lcounts))
+            entry = memo.lookup(key)
+            if entry is None:
+                counts.memo_misses += 1
+                tuner = intra.get(group)
+                if tuner is None:
+                    tuner = intra[group] = IntraStageTuner(
+                        self.analyzers[group], self.space,
+                        global_batch=global_batch, seq_len=self.seq_len,
+                        max_pareto_points=self.max_pareto_points,
+                    )
+                before_eval = tuner.evaluated
+                before_pre = tuner.prefiltered
+                menus = tuner.tune(shape, lcounts, prefilter=True)
+                entry = MemoEntry(
+                    menus=menus,
+                    evaluated=tuner.evaluated - before_eval,
+                    prefiltered=tuner.prefiltered - before_pre,
+                )
+                memo.store(key, entry)
+            else:
+                counts.memo_hits += 1
+            # count each unique subproblem once per cell — the same
+            # dedup the exhaustive path's per-cell shape cache applies,
+            # so explored cells report identical work either way
+            if key not in seen_in_cell:
+                seen_in_cell.add(key)
+                counts.evaluated += entry.evaluated
+                counts.prefiltered += entry.prefiltered
+            return entry.menus
+
+        menus = []
+        if assignment is None:
+            counts_for_stage = (layer_counts if num_stages > 1
+                                else [self.model.num_layers])
+            for idx in range(num_stages):
+                inflight = min(gacc, num_stages - idx)
+                shape = StageShape(
+                    stage_gpus=stage_gpus, gacc=gacc,
+                    inflight=inflight if num_stages > 1 else 1,
+                    has_pre=(idx == 0), has_post=(idx == num_stages - 1),
+                )
+                menus.append(menus_for("", shape, counts_for_stage))
+        else:
+            boundary = [False] * num_stages
+            for i in range(num_stages - 1):
+                if assignment[i].group != assignment[i + 1].group:
+                    boundary[i] = boundary[i + 1] = True
+            for idx, slot in enumerate(assignment):
+                inflight = min(gacc, num_stages - idx)
+                shape = StageShape(
+                    stage_gpus=slot.stage_gpus, gacc=gacc, inflight=inflight,
+                    has_pre=(idx == 0), has_post=(idx == num_stages - 1),
+                    group=slot.group,
+                    p2p_bandwidth_cap=(self.hetero.inter_group_bandwidth
+                                       if boundary[idx] else None),
+                    p2p_latency_floor=(self.hetero.inter_group_latency
+                                       if boundary[idx] else None),
+                )
+                stage_counts = (layer_counts if num_stages > 1
+                                else [self.model.num_layers])
+                menus.append(menus_for(slot.group, shape, stage_counts))
+
+        def _solve(stage_menus):
+            return inter_stage.solve(
+                stage_menus, self.model.num_layers, gacc,
+                imbalance_aware=self.space.imbalance_aware,
+            )
+
+        if not math.isfinite(threshold):
+            return _solve(menus), counts
+        # Screen-then-canonicalize: solve the option-cut menus first
+        # (cheap — dominated options gone). If the cell still lands at
+        # or under the incumbent threshold it may enter the top-k, so
+        # re-solve the *full* menus: the MILP's tie-breaking among
+        # equal-objective optima depends on the exact model, and only
+        # the full-menu solution matches the exhaustive path bit for
+        # bit. Cells screened out (worse than the threshold, or
+        # infeasible after the cut) are provably outside the top-k and
+        # keep the cheap answer. The relative margin absorbs float
+        # drift between the recomputed objectives of tied optima.
+        cut, removed = self._cut_menus(menus, gacc, threshold)
+        if removed == 0:
+            return _solve(menus), counts
+        screened = _solve(cut)
+        if screened is not None and \
+                screened.objective <= threshold * (1.0 + 1e-6):
+            return _solve(menus), counts
+        return screened, counts
 
     def tune(self, global_batch: int, *, verbose: bool = False,
              keep_top: int = 3) -> TuningResult:
@@ -339,7 +932,7 @@ class MistTuner:
                        stage_gpus: int, gacc: int,
                        layer_counts: list[int],
                        assignment: "tuple[StageSlot, ...] | None" = None):
-        """Solve one (S, G) candidate.
+        """Solve one (S, G) candidate (exhaustive reference path).
 
         Returns ``(solution, evaluated)`` where ``evaluated`` is the
         number of configurations the intra-stage tuner scored — each

@@ -164,6 +164,36 @@ class InterferenceModel:
                        c2g: float = 0.0, g2c: float = 0.0) -> float:
         return float(self.predict(comp, g2g, c2g, g2c))
 
+    def min_factor(self) -> float:
+        """Smallest slowdown factor across all combinations.
+
+        Interference can only *slow down* co-running kernels, so every
+        factor is >= 1 for any physically meaningful model (calibration
+        clamps its fits accordingly). The pruned tuner checks this
+        before enabling its branch-and-bound cut: when all factors are
+        >= 1, ``predict(...) >= max(channel busy times) >= compute
+        channel``, which makes a compute-only, interference-free time a
+        valid optimistic lower bound on any stage's microbatch latency.
+        """
+        values = [factor
+                  for entry in self.factors.values()
+                  for factor in entry.values()]
+        return min(values, default=1.0)
+
+    def fingerprint(self) -> tuple:
+        """Canonical hashable identity of this model's parameters.
+
+        Used to scope memoized tuning subproblems: two searches may
+        share memo entries only when their interference models are
+        parameter-identical.
+        """
+        items = tuple(sorted(
+            (tuple(sorted(combo)),
+             tuple(sorted((ch, float(v)) for ch, v in entry.items())))
+            for combo, entry in self.factors.items()
+        ))
+        return (items, float(self.max_factor))
+
     # -- (de)serialization for calibration ------------------------------------
 
     def pair_vector(self) -> tuple[list[tuple[frozenset[str], str]], np.ndarray]:

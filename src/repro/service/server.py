@@ -201,6 +201,9 @@ class TuningService:
             else:
                 self.metrics.inc("solver_invocations")
                 self.metrics.observe_solve(time.perf_counter() - start)
+                # surface the prune-and-memoize engine's counters
+                self.metrics.observe_search(
+                    getattr(report, "search_stats", {}) or {})
             self._finish_flight(flight)
             for record in flight.records():
                 if record.complete(report, from_cache=report.from_cache):

@@ -171,10 +171,19 @@ class ServiceMetrics:
         "jobs_submitted", "jobs_completed", "jobs_failed", "jobs_cancelled",
         "cache_hits", "cache_misses", "coalesced", "solver_invocations",
     )
+    #: prune-and-memoize counters accumulated from each completed
+    #: search's ``SolveReport.search_stats`` (cache hits excluded — no
+    #: search ran)
+    _SEARCH_COUNTERS = (
+        "cells_total", "cells_explored", "cells_pruned", "cells_infeasible",
+        "configs_evaluated", "configs_prefiltered",
+        "memo_hits", "memo_misses",
+    )
 
     def __init__(self):
         self._lock = threading.Lock()
         self._counts = dict.fromkeys(self._COUNTERS, 0)
+        self._search = dict.fromkeys(self._SEARCH_COUNTERS, 0)
         self._solve_seconds_total = 0.0
         self._solve_count = 0
         self._started_at = time.time()
@@ -190,10 +199,21 @@ class ServiceMetrics:
             self._solve_seconds_total += float(seconds)
             self._solve_count += 1
 
+    def observe_search(self, search_stats: dict) -> None:
+        """Fold one report's prune/memo counters into the ledger."""
+        if not search_stats:
+            return
+        with self._lock:
+            for name in self._SEARCH_COUNTERS:
+                value = search_stats.get(name, 0)
+                if isinstance(value, (int, float)):
+                    self._search[name] += int(value)
+
     def snapshot(self, *, in_flight: int = 0, tracked: int = 0,
                  workers: int = 0) -> dict:
         with self._lock:
             counts = dict(self._counts)
+            search = dict(self._search)
             total = self._solve_seconds_total
             solves = self._solve_count
             uptime = time.time() - self._started_at
@@ -218,4 +238,5 @@ class ServiceMetrics:
                 "solve_seconds_total": total,
                 "solve_seconds_avg": (total / solves) if solves else 0.0,
             },
+            "search": search,
         }

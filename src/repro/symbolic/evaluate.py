@@ -129,14 +129,22 @@ class CompiledExpr:
     Calling the object with keyword arguments (scalars or numpy arrays)
     returns the evaluated value, or a tuple of values if multiple
     expressions were compiled together.
+
+    ``used_symbols`` is the subset of ``arg_names`` the expressions
+    actually reference. Callers compiling a narrow projection of a wide
+    vocabulary (e.g. the memory-only pre-filter over the full analyzer
+    symbol set) can consult it to build only the needed columns; the
+    unused arguments may be passed as anything cheap (``0.0``).
     """
 
     def __init__(self, func: Callable, arg_names: tuple[str, ...], n_outputs: int,
-                 source: str):
+                 source: str, used_symbols: frozenset[str] | None = None):
         self._func = func
         self.arg_names = arg_names
         self.n_outputs = n_outputs
         self.source = source
+        self.used_symbols = (frozenset(arg_names) if used_symbols is None
+                             else used_symbols)
 
     def __call__(self, **env: ArrayLike):
         missing = [name for name in self.arg_names if name not in env]
@@ -227,10 +235,10 @@ def compile_expr(exprs: Union[Expr, Sequence[Expr]],
     if not expr_list:
         raise ValueError("no expressions to compile")
 
+    all_syms: set[str] = set()
+    for expr in expr_list:
+        all_syms |= free_symbols(expr)
     if arg_names is None:
-        all_syms: set[str] = set()
-        for expr in expr_list:
-            all_syms |= free_symbols(expr)
         arg_names = tuple(sorted(all_syms))
     else:
         arg_names = tuple(arg_names)
@@ -249,4 +257,5 @@ def compile_expr(exprs: Union[Expr, Sequence[Expr]],
     namespace: dict = {"_np": np}
     exec(compile(source, "<repro.symbolic.compiled>", "exec"), namespace)
     func = namespace["_compiled"]
-    return CompiledExpr(func, arg_names, len(expr_list), source)
+    return CompiledExpr(func, arg_names, len(expr_list), source,
+                        used_symbols=frozenset(all_syms) & set(arg_names))

@@ -65,6 +65,10 @@ def _make_stub(name: str, state: StubState) -> StubState:
                 solver=name, job=job,
                 measured={"throughput": 7.5, "iteration_time": 0.2},
                 tuning_time_seconds=0.01, configurations_evaluated=4,
+                search_stats={"cells_total": 4, "cells_explored": 2,
+                              "cells_pruned": 2, "configs_evaluated": 4,
+                              "configs_prefiltered": 6, "memo_hits": 1,
+                              "memo_misses": 3},
             )
 
     return state

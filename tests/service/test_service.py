@@ -27,6 +27,24 @@ class TestHealthAndMetrics:
         assert metrics["cache"] == {"hits": 0, "misses": 0}
         assert metrics["solver"]["invocations"] == 0
         assert metrics["uptime_seconds"] >= 0
+        assert metrics["search"] == {
+            "cells_total": 0, "cells_explored": 0, "cells_pruned": 0,
+            "cells_infeasible": 0, "configs_evaluated": 0,
+            "configs_prefiltered": 0, "memo_hits": 0, "memo_misses": 0,
+        }
+
+    def test_metrics_accumulate_search_counters(self, client, job, stub):
+        client.solve(job, solver="svc-stub", timeout=10)
+        metrics = client.metrics()
+        search = metrics["search"]
+        assert search["cells_total"] == 4
+        assert search["cells_explored"] == 2
+        assert search["cells_pruned"] == 2
+        assert search["memo_hits"] == 1
+        assert search["memo_misses"] == 3
+        # the cached repeat runs no search: counters must not move
+        client.solve(job, solver="svc-stub", timeout=10)
+        assert client.metrics()["search"] == search
 
 
 class TestJobLifecycle:

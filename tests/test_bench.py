@@ -1,0 +1,135 @@
+"""The `repro bench` harness: snapshot schema, gates, CLI plumbing."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.benchmarking import (
+    BENCH_SCHEMA,
+    check_against_baseline,
+    format_bench,
+    run_bench,
+    validate_bench,
+)
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def snapshot() -> dict:
+    return run_bench("smoke")
+
+
+class TestSnapshot:
+    def test_schema_and_shape(self, snapshot):
+        assert snapshot["schema"] == BENCH_SCHEMA
+        assert snapshot["scale"] == "smoke"
+        assert set(snapshot["benchmarks"]) == {
+            "fig16_tuning_time", "fig16_exhaustive_reference"}
+        pruned = snapshot["benchmarks"]["fig16_tuning_time"]
+        assert pruned["wall_time_seconds"] > 0
+        assert pruned["per_space"]
+        assert pruned["parallel"]["matches_serial"]
+
+    def test_snapshot_is_strict_json(self, snapshot):
+        def _no_constants(_):
+            raise AssertionError("non-standard JSON constant emitted")
+        json.loads(json.dumps(snapshot), parse_constant=_no_constants)
+
+    def test_gates_pass_on_fresh_snapshot(self, snapshot):
+        assert validate_bench(snapshot) == []
+        assert snapshot["derived"]["plans_match_exhaustive"]
+        assert snapshot["derived"]["fig16_speedup"] > 0
+
+    def test_counters_nonzero(self, snapshot):
+        stats = snapshot["benchmarks"]["fig16_tuning_time"]["stats"]
+        assert stats["cells_pruned"] > 0
+        assert stats["configs_prefiltered"] > 0
+        parallel = snapshot["benchmarks"]["fig16_tuning_time"]["parallel"]
+        assert stats["memo_hits"] + parallel["memo_hits"] > 0
+
+    def test_format_is_printable(self, snapshot):
+        text = format_bench(snapshot)
+        assert "fig16_tuning_time" in text
+        assert "speedup vs exhaustive" in text
+
+
+class TestGates:
+    def test_hash_drift_fails_validation(self, snapshot):
+        tampered = copy.deepcopy(snapshot)
+        hashes = tampered["benchmarks"]["fig16_tuning_time"]["plan_hashes"]
+        space = next(iter(hashes))
+        hashes[space] = "deadbeefdeadbeef"
+        tampered["derived"]["plans_match_exhaustive"] = False
+        problems = validate_bench(tampered)
+        assert any("drifted" in p for p in problems)
+
+    def test_zero_counters_fail_validation(self, snapshot):
+        tampered = copy.deepcopy(snapshot)
+        stats = tampered["benchmarks"]["fig16_tuning_time"]["stats"]
+        stats["cells_pruned"] = 0
+        problems = validate_bench(tampered)
+        assert any("pruned no" in p for p in problems)
+
+    def test_wall_time_regression_fails(self, snapshot):
+        slower = copy.deepcopy(snapshot)
+        bench = slower["benchmarks"]["fig16_tuning_time"]
+        bench["wall_time_seconds"] = \
+            snapshot["benchmarks"]["fig16_tuning_time"][
+                "wall_time_seconds"] * 2 + 10
+        problems = check_against_baseline(slower, snapshot,
+                                          max_regression=0.25)
+        assert any("regressed" in p for p in problems)
+
+    def test_sub_threshold_noise_passes(self, snapshot):
+        jitter = copy.deepcopy(snapshot)
+        bench = jitter["benchmarks"]["fig16_tuning_time"]
+        bench["wall_time_seconds"] *= 1.20  # < 25%: fine
+        assert check_against_baseline(jitter, snapshot) == []
+
+    def test_absolute_noise_floor(self, snapshot):
+        # +50% of nearly nothing is scheduler noise, not a regression
+        tiny_base = copy.deepcopy(snapshot)
+        tiny_base["benchmarks"]["fig16_tuning_time"][
+            "wall_time_seconds"] = 0.2
+        tiny_cur = copy.deepcopy(snapshot)
+        tiny_cur["benchmarks"]["fig16_tuning_time"][
+            "wall_time_seconds"] = 0.3
+        assert check_against_baseline(tiny_cur, tiny_base) == []
+
+    def test_scale_mismatch_fails(self, snapshot):
+        other = copy.deepcopy(snapshot)
+        other["scale"] = "quick"
+        problems = check_against_baseline(snapshot, other)
+        assert any("scale" in p for p in problems)
+
+
+class TestCli:
+    def test_bench_command_writes_snapshot(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_test.json"
+        code = main(["bench", "--scale", "smoke", "--out", str(out)])
+        assert code == 0
+        written = json.loads(out.read_text())
+        assert written["schema"] == BENCH_SCHEMA
+        assert validate_bench(written) == []
+        assert "bench gates: OK" in capsys.readouterr().out
+
+    def test_bench_command_gates_against_baseline(self, tmp_path, capsys,
+                                                  snapshot):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(snapshot))
+        out = tmp_path / "BENCH_test.json"
+        code = main(["bench", "--scale", "smoke", "--out", str(out),
+                     "--baseline", str(baseline),
+                     "--max-regression", "5.0"])
+        assert code == 0
+
+    def test_bench_command_rejects_bad_baseline(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json")
+        out = tmp_path / "BENCH_test.json"
+        code = main(["bench", "--scale", "smoke", "--out", str(out),
+                     "--baseline", str(bad)])
+        assert code == 2
