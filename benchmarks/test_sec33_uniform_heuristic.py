@@ -38,7 +38,7 @@ def _workloads():
 def _measure():
     rows = []
     for spec in _workloads():
-        uniform = run_baseline(spec, "uniform-heuristic")
+        uniform = run_baseline(spec, "uniform")
         mist = run_mist(spec)
         rows.append((spec.name, uniform.throughput, mist.throughput))
     return rows

@@ -1,56 +1,89 @@
 #!/usr/bin/env python3
-"""Multi-node sweep: tuning the same model across cluster shapes.
+"""Multi-node sweep as a campaign: one model across cluster shapes.
 
-Tunes GPT-3 6.7B on several simulated clusters (PCIe L4 vs NVLink A100,
-single- and multi-node) through the solver API and reports how the
-chosen strategy shifts with the hardware — the paper's Section 6.2
-observation that memory-tight PCIe machines reward aggressive
-memory-parallelism co-optimization, while NVLink machines run closer to
-their physical limits.
+Tunes the same GPT-3 model on several simulated clusters (PCIe L4 vs
+NVLink A100, single- and multi-node) through the declarative Campaign
+API and reports how the chosen strategy shifts with the hardware — the
+paper's Section 6.2 observation that memory-tight PCIe machines reward
+aggressive memory-parallelism co-optimization, while NVLink machines
+run closer to their physical limits.
 
-Each cluster shape is one declarative job; re-running the script with
-``REPRO_PLAN_CACHE`` set reuses previously solved plans from disk.
+The whole sweep is one :class:`~repro.campaigns.CampaignSpec` with a
+cluster axis; sequence lengths follow the paper's per-GPU-type default
+(2048 on L4, 4096 on A100). Set ``REPRO_CAMPAIGN_DIR`` to make the run
+durable: a resumable manifest plus plan cache land there, and re-running
+the script resumes instead of re-searching.
 
-Run:  python examples/cluster_sweep.py
+Run:  python examples/cluster_sweep.py            (paper-scale, minutes)
+      python examples/cluster_sweep.py --smoke    (tiny CI grid, ~10s)
 """
 
 import os
+import sys
+from pathlib import Path
 
-from repro.api import PlanCache, TuningJob, solve
+from repro.campaigns import CampaignSpec, run_campaign
 
-MODEL = "gpt3-6.7b"
-GLOBAL_BATCH = 128
+SMOKE = "--smoke" in sys.argv[1:]
 
-CLUSTERS = [
-    ("L4", 8, 2048),
-    ("L4", 16, 2048),
-    ("A100-40GB", 8, 4096),
-    ("A100-40GB", 16, 4096),
-]
+SPEC = CampaignSpec(
+    name="cluster-sweep-smoke" if SMOKE else "cluster-sweep",
+    solvers=("mist",),
+    models=("gpt3-1.3b",) if SMOKE else ("gpt3-6.7b",),
+    clusters=(
+        ({"gpu": "L4", "num_gpus": 2}, {"gpu": "L4", "num_gpus": 4})
+        if SMOKE else
+        ({"gpu": "L4", "num_gpus": 8}, {"gpu": "L4", "num_gpus": 16},
+         {"gpu": "A100-40GB", "num_gpus": 8},
+         {"gpu": "A100-40GB", "num_gpus": 16})
+    ),
+    scales=("smoke",) if SMOKE else ("quick",),
+    global_batches=(16,) if SMOKE else (128,),
+    interference="none" if SMOKE else "auto",
+    parallelism=0,
+)
+
+
+def _print_cell(record: dict, report) -> None:
+    name = f"{record['cluster']}"
+    if record["status"] != "done":
+        print(f"{name:18s}: failed ({record['error']})")
+        return
+    origin = {"cache": " (cached)", "manifest": " (resumed)"}.get(
+        record["source"] or "", "")
+    if report is None or report.plan is None:
+        print(f"{name:18s} seq={record['seq_len']}: no feasible plan")
+        return
+    plan = report.plan
+    stage0 = plan.stages[0]
+    print(f"{name:18s} seq={record['seq_len']}: "
+          f"{record['throughput']:6.2f} samples/s"
+          f"  S={plan.num_stages} G={plan.gacc}  "
+          f"stage0[{stage0.describe()}]{origin}")
 
 
 def main() -> None:
-    cache = PlanCache() if os.environ.get("REPRO_PLAN_CACHE") else None
-    print(f"model: {MODEL}, global batch {GLOBAL_BATCH}\n")
-    rows = []
-    for gpu, num_gpus, seq_len in CLUSTERS:
-        job = TuningJob(
-            model=MODEL, gpu=gpu, num_gpus=num_gpus,
-            global_batch=GLOBAL_BATCH, seq_len=seq_len,
-            parallelism=0,
-        )
-        rows.append((gpu, num_gpus, seq_len, solve(job, cache=cache)))
+    from repro.campaigns import CampaignError
 
-    for gpu, num_gpus, seq_len, report in rows:
-        name = f"{gpu} x {num_gpus}"
-        if not report.measured:
-            print(f"{name:18s} seq={seq_len}: no feasible plan")
-            continue
-        plan = report.plan
-        stage0 = plan.stages[0]
-        print(f"{name:18s} seq={seq_len}: {report.throughput:6.2f} samples/s"
-              f"  S={plan.num_stages} G={plan.gacc}  "
-              f"stage0[{stage0.describe()}]")
+    model = SPEC.models[0]
+    print(f"model: {model}, global batch {SPEC.global_batches[0]}\n")
+    directory = os.environ.get("REPRO_CAMPAIGN_DIR")
+    resume = bool(directory) and \
+        (Path(directory) / "manifest.json").exists()
+    try:
+        report = run_campaign(SPEC, directory=directory, resume=resume,
+                              on_event=_print_cell)
+    except CampaignError:
+        # the directory holds a different grid (e.g. --smoke toggled):
+        # start that directory over instead of dying on the mismatch
+        print("(existing manifest is for a different grid; "
+              "starting fresh)\n")
+        report = run_campaign(SPEC, directory=directory, resume=False,
+                              on_event=_print_cell)
+    counters = report.counters
+    print(f"\n{counters['done']}/{counters['cells']} cells done "
+          f"(solved {counters['solved']}, cache {counters['cache_hits']}, "
+          f"manifest {counters['manifest_hits']})")
 
 
 if __name__ == "__main__":

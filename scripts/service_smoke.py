@@ -15,7 +15,11 @@ an ephemeral port with a throwaway plan-cache directory, then:
    fingerprint, so the plan cache misses and a real search runs) and
    asserts the process-wide menu memo served it: memo hits > 0 on the
    repeated search, identical plan;
-5. shuts the daemon down.
+5. POSTs a 2-cell campaign whose cells are the *same new* job twice:
+   the duplicate must coalesce onto one in-flight search (per-cell
+   `coalesced` flag + /metrics); repeats the campaign and asserts both
+   cells are answered from the plan cache with no new invocation;
+6. shuts the daemon down.
 
 Exit code 0 on success. Runs in ~10s.
 
@@ -46,6 +50,9 @@ JOB = TuningJob(model="gpt3-1.3b", gpu="L4", num_gpus=4, global_batch=16,
 #: replays every memoized stage subproblem from the first solve
 VARIANT_JOB = dataclasses.replace(JOB, parallelism=2,
                                   options={"note": "memo-proof"})
+#: a third fingerprint, submitted twice in one campaign batch: the
+#: duplicate must coalesce, and a repeat campaign must be pure cache
+CAMPAIGN_JOB = dataclasses.replace(JOB, global_batch=8)
 
 
 def main() -> int:
@@ -111,6 +118,36 @@ def main() -> int:
             print(f"memo proves it: memo_hits="
                   f"{metrics['search']['memo_hits']} on the repeated "
                   f"search ({memoized:.1f}s)")
+
+            # a 2-cell campaign of one new job submitted twice: the
+            # duplicate coalesces onto a single in-flight search
+            camp = client.submit_campaign(
+                [(CAMPAIGN_JOB, "mist"), (CAMPAIGN_JOB, "mist")],
+                name="smoke-campaign")
+            final = client.wait_campaign(camp["id"], timeout=300)
+            assert final["status"] == "done", final
+            counters = final["counters"]
+            assert counters["cells"] == 2, final
+            assert counters["coalesced"] == 1, final
+            metrics = client.metrics()
+            assert metrics["campaigns"]["submitted"] == 1, metrics
+            assert metrics["campaigns"]["cells"] == 2, metrics
+            assert metrics["solver"]["invocations"] == 3, metrics
+            print(f"campaign coalescing: 2 cells -> 1 search "
+                  f"(coalesced={counters['coalesced']})")
+
+            # the same campaign again: both cells pure plan-cache hits
+            repeat = client.submit_campaign(
+                [(CAMPAIGN_JOB, "mist"), (CAMPAIGN_JOB, "mist")],
+                name="smoke-campaign-repeat")
+            final = client.wait_campaign(repeat["id"], timeout=30)
+            assert final["status"] == "done", final
+            assert final["counters"]["from_cache"] == 2, final
+            metrics = client.metrics()
+            assert metrics["solver"]["invocations"] == 3, metrics
+            assert metrics["campaigns"]["submitted"] == 2, metrics
+            print("campaign cache: repeat batch served with no new "
+                  "invocation")
         finally:
             daemon.terminate()
             try:

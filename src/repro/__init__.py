@@ -29,6 +29,8 @@ Lower-level access (the tuner directly)::
     print(result.describe())
 
 Subpackages: :mod:`repro.api` (declarative jobs + solver registry),
+:mod:`repro.campaigns` (declarative evaluation matrices: executors,
+resumable manifests, speedup aggregation),
 :mod:`repro.symbolic` (expression engine),
 :mod:`repro.hardware`, :mod:`repro.models`, :mod:`repro.costmodel`,
 :mod:`repro.tracing`, :mod:`repro.execution` (the simulated cluster),
@@ -57,7 +59,7 @@ from .hardware import (
 from .models import ModelConfig, get_model, list_models
 from . import api
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ClusterSpec",

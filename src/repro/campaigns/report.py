@@ -1,0 +1,204 @@
+"""Campaign aggregation: per-cell records -> speedup tables + report.
+
+:func:`aggregate` folds a campaign's per-cell records into a
+serializable :class:`CampaignReport`: run counters (solved / plan-cache
+hits / manifest hits / failures), a ``results`` matrix
+(``workload -> solver -> samples/s``), Figure 11/12-style normalized
+throughput tables, and — via :meth:`CampaignReport.comparisons` — real
+:class:`~repro.evaluation.runner.Comparison` objects for code that
+already speaks the single-workload evaluation shapes.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.api.job import TuningJob
+from repro.core.plan import TrainingPlan
+from repro.evaluation.reporting import format_throughput_rows
+
+from .spec import CampaignSpec
+
+__all__ = ["CampaignReport", "aggregate"]
+
+#: per-cell ``source`` values -> report counter names
+_SOURCE_COUNTERS = {
+    "solved": "solved",
+    "cache": "cache_hits",
+    "manifest": "manifest_hits",
+}
+
+
+class CampaignReport:
+    """One campaign's aggregated, JSON-round-trippable outcome."""
+
+    def __init__(self, *, name: str, spec: CampaignSpec | None,
+                 cells: list[dict], counters: dict,
+                 executor: str = "inline", elapsed_seconds: float = 0.0):
+        self.name = name
+        self.spec = spec
+        self.cells = cells
+        self.counters = counters
+        self.executor = executor
+        self.elapsed_seconds = elapsed_seconds
+
+    # -- aggregation views -------------------------------------------------
+
+    @property
+    def complete(self) -> bool:
+        return (self.counters.get("pending", 0) == 0
+                and self.counters.get("failed", 0) == 0)
+
+    def reference(self) -> str:
+        if self.spec is not None and self.spec.reference:
+            return self.spec.reference
+        if self.spec is not None and self.spec.solvers:
+            return self.spec.solvers[0]
+        solvers = sorted({rec["solver"] for rec in self.cells})
+        return solvers[0] if solvers else ""
+
+    def results(self) -> dict:
+        """``workload -> solver -> measured samples/s`` (failures = 0)."""
+        out: dict[str, dict[str, float]] = {}
+        for rec in self.cells:
+            row = out.setdefault(rec["workload"], {})
+            row[rec["solver"]] = (float(rec.get("throughput", 0.0))
+                                  if rec.get("status") == "done" else 0.0)
+        return out
+
+    def speedups(self, reference: str | None = None) -> dict:
+        """``workload -> solver -> throughput / reference throughput``."""
+        reference = reference or self.reference()
+        out: dict[str, dict[str, float]] = {}
+        for workload, row in self.results().items():
+            if reference not in row:
+                raise ValueError(
+                    f"reference solver {reference!r} has no cell on "
+                    f"{workload!r}; available: {sorted(row)}")
+            ref = row[reference]
+            out[workload] = {
+                solver: ((value / ref) if ref > 0
+                         else (float("inf") if value > 0 else 0.0))
+                for solver, value in row.items()
+            }
+        return out
+
+    def comparisons(self) -> dict:
+        """Per-workload :class:`~repro.evaluation.runner.Comparison`.
+
+        Outcomes are rebuilt from the serialized records (plan +
+        measured metrics); live execution objects never survive
+        aggregation, exactly like reports fetched from a daemon.
+        """
+        from repro.evaluation.runner import Comparison, SystemOutcome
+
+        grouped: dict[str, dict] = {}
+        workloads: dict[str, object] = {}
+        for rec in self.cells:
+            name = rec["workload"]
+            if name not in workloads and rec.get("job"):
+                workloads[name] = TuningJob.from_dict(rec["job"]).workload
+            plan = (TrainingPlan.from_dict(rec["plan"])
+                    if rec.get("plan") else None)
+            grouped.setdefault(name, {})[rec["solver"]] = SystemOutcome(
+                system=rec["solver"],
+                plan=plan,
+                result=None,
+                tuning_time_seconds=float(
+                    rec.get("tuning_time_seconds", 0.0)),
+                extra={"source": rec.get("source"),
+                       "status": rec.get("status")},
+                measured=dict(rec.get("measured", {})),
+            )
+        return {
+            name: Comparison(workload=workloads.get(name),
+                             outcomes=outcomes)
+            for name, outcomes in grouped.items()
+        }
+
+    def table(self, title: str | None = None) -> str:
+        """Figure 11/12-style normalized-throughput table."""
+        title = title or f"campaign {self.name}"
+        return format_throughput_rows(title, self.results(),
+                                      self.reference())
+
+    def describe(self) -> str:
+        c = self.counters
+        lines = [
+            f"campaign {self.name}: {c.get('done', 0)}/{c.get('cells', 0)} "
+            f"cells done via {self.executor} in "
+            f"{self.elapsed_seconds:.1f}s "
+            f"(solved {c.get('solved', 0)}, cache {c.get('cache_hits', 0)}, "
+            f"manifest {c.get('manifest_hits', 0)}, "
+            f"failed {c.get('failed', 0)}, pending {c.get('pending', 0)})",
+        ]
+        if any(rec.get("status") == "done" for rec in self.cells):
+            lines.append(self.table())
+        return "\n".join(lines)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "spec": self.spec.to_dict() if self.spec is not None else None,
+            "executor": self.executor,
+            "elapsed_seconds": self.elapsed_seconds,
+            "counters": dict(self.counters),
+            "cells": [dict(rec) for rec in self.cells],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignReport":
+        spec = (CampaignSpec.from_dict(data["spec"])
+                if data.get("spec") else None)
+        return cls(
+            name=data["name"],
+            spec=spec,
+            cells=[dict(rec) for rec in data.get("cells", [])],
+            counters=dict(data.get("counters", {})),
+            executor=data.get("executor", "inline"),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent,
+                          allow_nan=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignReport":
+        return cls.from_dict(json.loads(text))
+
+
+def aggregate(spec: CampaignSpec | None, cells: list[dict], *,
+              executor: str = "inline",
+              elapsed_seconds: float = 0.0) -> CampaignReport:
+    """Fold per-cell records into a :class:`CampaignReport`."""
+    counters = {
+        "cells": len(cells),
+        "done": 0,
+        "failed": 0,
+        "pending": 0,
+        "solved": 0,
+        "cache_hits": 0,
+        "manifest_hits": 0,
+    }
+    for rec in cells:
+        status = rec.get("status", "pending")
+        if status == "done":
+            counters["done"] += 1
+        elif status == "failed":
+            counters["failed"] += 1
+        else:
+            counters["pending"] += 1
+        source = _SOURCE_COUNTERS.get(rec.get("source") or "")
+        if source is not None and status == "done":
+            counters[source] += 1
+    return CampaignReport(
+        name=spec.name if spec is not None else "campaign",
+        spec=spec,
+        cells=cells,
+        counters=counters,
+        executor=executor,
+        elapsed_seconds=elapsed_seconds,
+    )

@@ -7,7 +7,14 @@ Commands:
   registered solvers on the same job; ``--cluster file.json`` tunes an
   explicit (possibly heterogeneous, mixed-GPU) cluster.
 * ``sweep``    — run several solvers across a grid of model sizes and
-  print the normalized-throughput table (Figs. 11/12 style).
+  print the normalized-throughput table (Figs. 11/12 style); a thin
+  wrapper over the campaign engine (``--executor process-pool``
+  parallelizes the grid).
+* ``campaign`` — the full evaluation-campaign surface: ``run`` a
+  declarative JSON campaign spec through a chosen executor (``inline``,
+  ``process-pool``, ``service``) with a resumable on-disk manifest
+  (``--dir`` + ``--resume``), ``status`` a manifest, and re-``report``
+  its aggregated speedup table (see ``docs/API.md``).
 * ``cluster``  — inspect/validate a cluster description file: device
   groups, per-GPU memory budgets, link bandwidths.
 * ``serve``    — start the tuning-as-a-service HTTP daemon (job
@@ -29,6 +36,9 @@ Examples::
         --cluster examples/mixed_a100_l4.json --solver mist
     python -m repro cluster examples/mixed_a100_l4.json
     python -m repro sweep --gpu L4 --sizes 1.3b 2.7b --solvers mist megatron
+    python -m repro campaign run grid.json --dir runs/grid \
+        --executor process-pool --workers 4
+    python -m repro campaign run grid.json --dir runs/grid --resume
     python -m repro analyze --model gpt3-2.7b --gpu L4 --gpus 4 \
         --global-batch 8 --seq-len 4096 --stages 2 --dp 2 --ckpt full
 
@@ -39,9 +49,9 @@ PAPER_MAPPING.md).
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import json
 import sys
+from pathlib import Path
 
 from repro.api import (
     JobValidationError,
@@ -54,7 +64,7 @@ from repro.api import (
 from repro.core.plan import uniform_plan
 from repro.core.spaces import NAMED_SPACES
 from repro.evaluation.reporting import format_throughput_rows
-from repro.evaluation.workloads import SCALES, WorkloadSpec, paper_workloads
+from repro.evaluation.workloads import SCALES, WorkloadSpec
 from repro.execution import ExecutionEngine, OOMError, render_timeline
 from repro.hardware import HeterogeneousCluster, cluster_to_dict, load_cluster
 from repro.models import get_model, list_models
@@ -89,6 +99,21 @@ def _add_solver_args(parser: argparse.ArgumentParser) -> None:
                         help="reuse/store solved plans in this directory")
     parser.add_argument("--json", metavar="FILE", default=None,
                         help="write the solve report(s) as JSON")
+
+
+def _add_executor_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--executor", default="inline",
+                        choices=("inline", "process-pool", "service"),
+                        help="campaign executor (see 'docs/API.md')")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes for --executor process-pool")
+    parser.add_argument("--service-url", metavar="URL", default=None,
+                        help="live 'repro serve' daemon for "
+                             "--executor service")
+    parser.add_argument("--service-timeout", type=float, default=600.0,
+                        metavar="SECONDS",
+                        help="fail remaining cells after this long with "
+                             "no cell completing (--executor service)")
 
 
 def _job(args) -> TuningJob:
@@ -209,54 +234,207 @@ def _cmd_tune(args) -> int:
     return _finish(0)
 
 
+#: per-cell report-source -> suffix on the progress line
+_CELL_ORIGINS = {"cache": " (cached)", "manifest": " (manifest)"}
+
+
+def _print_cell_event(record: dict):
+    """Shared per-cell progress line for ``sweep`` / ``campaign run``."""
+    if record["status"] != "done":
+        print(f"{record['workload']} / {record['solver']}: "
+              f"failed ({record.get('error') or 'no detail'})")
+        return
+    origin = _CELL_ORIGINS.get(record.get("source") or "", "")
+    print(f"{record['workload']} / {record['solver']}: "
+          f"{record['throughput']:.2f} samples/s "
+          f"({record['tuning_time_seconds']:.1f}s tuning{origin})")
+
+
+def _executor_options(args) -> dict:
+    if args.executor == "process-pool":
+        return {"workers": args.workers}
+    if args.executor == "service":
+        return {"url": args.service_url, "timeout": args.service_timeout}
+    return {}
+
+
 def _cmd_sweep(args) -> int:
-    flash = not args.no_flash
+    # the sweep is one paper-grid campaign; everything below is
+    # presentation (see repro.campaigns for the machinery)
+    from repro.campaigns import (
+        CampaignSpec,
+        CampaignValidationError,
+        ExecutorNotFoundError,
+        run_campaign,
+    )
+
     reference = args.reference or args.solvers[0]
     if reference not in args.solvers:
         print(f"--reference {reference!r} is not among the requested "
               f"solvers {args.solvers}")
         return 2
-    try:
-        workloads = paper_workloads(args.gpu, family=args.family,
-                                    sizes=tuple(args.sizes), flash=flash)
-    except KeyError as exc:
-        print(f"unknown size: {exc}")
+    if args.executor == "service" and not args.service_url:
+        print("--executor service requires --service-url")
         return 2
-    if args.seq_len:
-        workloads = [dataclasses.replace(w, seq_len=args.seq_len)
-                     for w in workloads]
-    if args.global_batch:
-        workloads = [dataclasses.replace(w, global_batch=args.global_batch)
-                     for w in workloads]
-    cache = _cache(args)
-    reports = []
-    results: dict[str, dict[str, float]] = {}
-    for spec in workloads:
-        row: dict[str, float] = {}
-        for solver in args.solvers:
-            try:
-                job = TuningJob.from_workload(
-                    spec, space=args.space, scale=args.scale,
-                    parallelism=args.parallelism,
-                )
-                report = solve(job, solver, cache=cache)
-            except (JobValidationError, SolverNotFoundError) as exc:
-                print(exc.args[0])
-                return 2
-            origin = " (cached)" if report.from_cache else ""
-            print(f"{spec.name} / {solver}: "
-                  f"{report.throughput:.2f} samples/s "
-                  f"({report.tuning_time_seconds:.1f}s tuning{origin})")
-            row[solver] = report.throughput
-            reports.append(report)
-        results[spec.name] = row
+    try:
+        spec = CampaignSpec(
+            name=f"sweep-{args.gpu}-{args.family}",
+            solvers=tuple(args.solvers),
+            family=args.family,
+            sizes=tuple(args.sizes),
+            clusters=({"gpu": args.gpu},),
+            scales=(args.scale,),
+            seq_lens=(args.seq_len,) if args.seq_len else (),
+            global_batches=(args.global_batch,) if args.global_batch else (),
+            flash=not args.no_flash,
+            space=args.space,
+            parallelism=args.parallelism,
+            reference=reference,
+        )
+    except CampaignValidationError as exc:
+        print(exc.args[0])
+        return 2
+    reports_by_cell: dict[str, object] = {}
+
+    def on_event(record, report):
+        _print_cell_event(record)
+        if report is not None:
+            reports_by_cell[record["cell_id"]] = report
+
+    try:
+        outcome = run_campaign(
+            spec, executor=args.executor,
+            executor_options=_executor_options(args),
+            cache=_cache(args), on_event=on_event,
+        )
+    except (CampaignValidationError, ExecutorNotFoundError,
+            SolverNotFoundError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc)
+        return 2
     print()
+    # table + JSON follow the deterministic expansion order of the
+    # aggregated report, not executor completion order
     print(format_throughput_rows(
         f"sweep on {args.gpu} ({args.family}, scale={args.scale})",
-        results, reference,
+        outcome.results(), reference,
     ))
     if args.json:
+        reports = [reports_by_cell[rec["cell_id"]] for rec in outcome.cells
+                   if rec["cell_id"] in reports_by_cell]
         _write_json(args.json, reports)
+    return 0 if outcome.counters["failed"] == 0 else 1
+
+
+def _cmd_campaign_run(args) -> int:
+    from repro.campaigns import (
+        CampaignError,
+        CampaignSpec,
+        CampaignValidationError,
+        ExecutorNotFoundError,
+        run_campaign,
+    )
+
+    try:
+        spec = CampaignSpec.from_json(Path(args.spec).read_text())
+    except (OSError, TypeError, ValueError, KeyError) as exc:
+        detail = exc.args[0] if exc.args else exc
+        print(f"invalid campaign spec: {detail}")
+        return 2
+    if args.resume and not args.dir:
+        print("--resume requires --dir (the campaign directory)")
+        return 2
+    if args.executor == "service" and not args.service_url:
+        print("--executor service requires --service-url")
+        return 2
+    print(f"campaign {spec.name}: executor={args.executor}"
+          + (f", dir={args.dir}" if args.dir else "")
+          + (" (resume)" if args.resume else ""))
+    try:
+        report = run_campaign(
+            spec, executor=args.executor,
+            executor_options=_executor_options(args),
+            directory=args.dir, cache=_cache(args), resume=args.resume,
+            on_event=lambda record, _report: _print_cell_event(record),
+        )
+    except (CampaignError, CampaignValidationError, ExecutorNotFoundError,
+            SolverNotFoundError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc)
+        return 2
+    print()
+    print(report.describe())
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json() + "\n")
+        print(f"wrote {args.json}")
+    return 0 if report.complete else 1
+
+
+def _load_manifest(directory: str):
+    from repro.campaigns import CampaignManifest
+
+    manifest = CampaignManifest(directory)
+    if not manifest.load():
+        print(f"no readable campaign manifest in {directory}")
+        return None
+    return manifest
+
+
+def _manifest_report(manifest):
+    """Rebuild the aggregated report from an on-disk manifest."""
+    from repro.campaigns import CampaignSpec, aggregate, pending_cell_record
+
+    spec = (CampaignSpec.from_dict(manifest.spec_dict)
+            if manifest.spec_dict else None)
+    recorded = {rec["cell_id"]: rec for rec in manifest.cells()}
+    cells = list(recorded.values())
+    if spec is not None:
+        # expansion gives the full matrix, so unfinished cells show as
+        # pending; solvers may be unregistered in this process
+        try:
+            expanded = spec.expand(check_solvers=False)
+            cells = [recorded.get(cell.cell_id)
+                     or pending_cell_record(cell)
+                     for cell in expanded]
+        except Exception:  # noqa: BLE001 — fall back to recorded cells
+            pass
+    return aggregate(spec, cells, executor="manifest")
+
+
+def _cmd_campaign_status(args) -> int:
+    manifest = _load_manifest(args.dir)
+    if manifest is None:
+        return 2
+    report = _manifest_report(manifest)
+    if args.json:
+        print(json.dumps({"name": manifest.name,
+                          "fingerprint": manifest.fingerprint,
+                          "counters": report.counters},
+                         sort_keys=True, indent=2))
+        return 0
+    c = report.counters
+    print(f"campaign {manifest.name} ({manifest.fingerprint})")
+    print(f"  cells: {c['done']}/{c['cells']} done, "
+          f"{c['failed']} failed, {c['pending']} pending")
+    print(f"  sources: {c['solved']} solved, {c['cache_hits']} cache, "
+          f"{c['manifest_hits']} manifest")
+    events = manifest.events()
+    if events:
+        last = events[-1]
+        print(f"  last event: {last.get('event')} "
+              f"({last.get('cell_id') or last.get('name') or ''})")
+    return 0
+
+
+def _cmd_campaign_report(args) -> int:
+    manifest = _load_manifest(args.dir)
+    if manifest is None:
+        return 2
+    report = _manifest_report(manifest)
+    print(report.describe())
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json() + "\n")
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -434,7 +612,45 @@ def build_parser() -> argparse.ArgumentParser:
                          help="override the per-size global batch")
     p_sweep.add_argument("--no-flash", action="store_true")
     _add_solver_args(p_sweep)
+    _add_executor_args(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run/inspect declarative evaluation campaigns")
+    camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
+
+    p_run = camp_sub.add_parser(
+        "run", help="run (or resume) a campaign spec JSON file")
+    p_run.add_argument("spec", help="campaign spec JSON "
+                                    "(CampaignSpec schema, see docs/API.md)")
+    p_run.add_argument("--dir", metavar="DIR", default=None,
+                       help="campaign directory: resumable manifest, "
+                            "events.jsonl, plans/ cache, report.json")
+    p_run.add_argument("--resume", action="store_true",
+                       help="reuse finished cells from the manifest + "
+                            "plan cache; only missing/failed cells run")
+    p_run.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="explicit plan-cache directory "
+                            "(default: <dir>/plans)")
+    p_run.add_argument("--json", metavar="FILE", default=None,
+                       help="write the aggregated CampaignReport as JSON")
+    _add_executor_args(p_run)
+    p_run.set_defaults(func=_cmd_campaign_run)
+
+    p_status = camp_sub.add_parser(
+        "status", help="summarize a campaign directory's manifest")
+    p_status.add_argument("--dir", metavar="DIR", required=True)
+    p_status.add_argument("--json", action="store_true",
+                          help="print the counters as JSON")
+    p_status.set_defaults(func=_cmd_campaign_status)
+
+    p_report = camp_sub.add_parser(
+        "report", help="re-aggregate a campaign directory into a report")
+    p_report.add_argument("--dir", metavar="DIR", required=True)
+    p_report.add_argument("--json", metavar="FILE", default=None,
+                          help="write the CampaignReport as JSON")
+    p_report.set_defaults(func=_cmd_campaign_report)
 
     p_bench = sub.add_parser(
         "bench", help="run the perf benchmark suite, emit BENCH_4.json")

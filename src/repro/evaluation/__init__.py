@@ -2,7 +2,6 @@
 
 from .reporting import format_series, format_table, format_throughput_rows
 from .runner import (
-    BASELINE_TUNERS,
     Comparison,
     SystemOutcome,
     calibrated_interference,
@@ -15,7 +14,9 @@ from .workloads import (
     SCALES,
     TuningScale,
     WorkloadSpec,
+    batch_for_size,
     current_scale,
+    default_seq_len,
     get_scale,
     gpu_count_for_size,
     mixed_workload,
@@ -25,16 +26,29 @@ from .workloads import (
     scale_to_dict,
 )
 
+
+def __getattr__(name: str):
+    # deprecated shim, forwarded lazily so importing this package stays
+    # warning-free; repro.evaluation.runner.__getattr__ emits the
+    # DeprecationWarning on actual access
+    if name == "BASELINE_TUNERS":
+        from . import runner
+
+        return runner.BASELINE_TUNERS
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
-    "BASELINE_TUNERS",
     "Comparison",
     "SCALES",
     "SystemOutcome",
     "TuningScale",
     "WorkloadSpec",
+    "batch_for_size",
     "calibrated_interference",
     "compare_systems",
     "current_scale",
+    "default_seq_len",
     "format_series",
     "format_table",
     "format_throughput_rows",

@@ -9,7 +9,9 @@ Since the :mod:`repro.api` redesign this module is a thin compatibility
 layer: workloads are turned into declarative
 :class:`~repro.api.job.TuningJob`\\ s and dispatched through the solver
 registry; the historical :class:`SystemOutcome` shape is preserved for
-existing benchmarks.
+existing benchmarks. Multi-system comparisons go through
+:mod:`repro.campaigns` — :func:`compare_systems` is a one-workload
+campaign — so local and ``repro serve`` runs share one code path.
 
 Interference models are calibrated once per fabric type (PCIe vs
 NVLink) against the engine's contention ground truth and cached for the
@@ -18,15 +20,10 @@ process lifetime.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from functools import lru_cache
 
-from repro.baselines import (
-    AcesoTuner,
-    DeepSpeedTuner,
-    MegatronTuner,
-    UniformHeuristicTuner,
-)
 from repro.core import SPACE_MIST, SearchSpace, TrainingPlan
 from repro.core.spaces import space_ref
 from repro.costmodel import InterferenceModel, fit_interference_model
@@ -44,17 +41,52 @@ __all__ = [
     "compare_systems",
 ]
 
-#: legacy system name -> tuner class (kept for backward compatibility;
-#: new code should consult the repro.api solver registry instead)
-BASELINE_TUNERS = {
-    "megatron": MegatronTuner,
-    "deepspeed": DeepSpeedTuner,
-    "aceso": AcesoTuner,
-    "uniform-heuristic": UniformHeuristicTuner,
-}
+#: deprecated runner-era system names -> registry solver names
+_LEGACY_SYSTEM_ALIASES = {"uniform-heuristic": "uniform"}
 
-#: legacy runner name -> registry solver name
-_SOLVER_ALIASES = {"uniform-heuristic": "uniform"}
+
+def _canonical_system(system: str) -> str:
+    """Map a requested system name onto its registry solver name.
+
+    Legacy runner-era names (``"uniform-heuristic"``) keep working for
+    one release with a :class:`DeprecationWarning`, mirroring the
+    ``MistTuner.tune()`` policy (see ``docs/API.md``).
+    """
+    alias = _LEGACY_SYSTEM_ALIASES.get(system)
+    if alias is None:
+        return system
+    warnings.warn(
+        f"system name {system!r} is deprecated; use the repro.api "
+        f"registry name {alias!r} (removal in v2.0)",
+        DeprecationWarning, stacklevel=3,
+    )
+    return alias
+
+
+def __getattr__(name: str):
+    # BASELINE_TUNERS predates the solver registry; kept one release as
+    # a lazily built shim so old callers keep working with a warning
+    if name == "BASELINE_TUNERS":
+        from repro.baselines import (
+            AcesoTuner,
+            DeepSpeedTuner,
+            MegatronTuner,
+            UniformHeuristicTuner,
+        )
+
+        warnings.warn(
+            "BASELINE_TUNERS is deprecated; consult the repro.api solver "
+            "registry (solver_registry()) instead (removal in v2.0)",
+            DeprecationWarning, stacklevel=2,
+        )
+        return {
+            "megatron": MegatronTuner,
+            "deepspeed": DeepSpeedTuner,
+            "aceso": AcesoTuner,
+            "uniform-heuristic": UniformHeuristicTuner,
+        }
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 
 
 @lru_cache(maxsize=4)
@@ -104,10 +136,56 @@ class Comparison:
     outcomes: dict[str, SystemOutcome]
 
     def speedup(self, system: str, reference: str = "megatron") -> float:
+        for role, name in (("reference", reference), ("system", system)):
+            if name not in self.outcomes:
+                raise ValueError(
+                    f"{role} system {name!r} is not among this "
+                    f"comparison's outcomes; available: "
+                    f"{sorted(self.outcomes)}")
         ref = self.outcomes[reference].throughput
         if ref <= 0:
             return float("inf") if self.outcomes[system].throughput > 0 else 0.0
         return self.outcomes[system].throughput / ref
+
+
+def _outcome_from_report(system: str, report, *,
+                         service_url: str | None = None) -> SystemOutcome:
+    """Rebuild the historical :class:`SystemOutcome` from a SolveReport."""
+    if service_url is not None:
+        extra = dict(report.extra)
+        extra["service_url"] = service_url
+        extra["from_cache"] = report.from_cache
+        return SystemOutcome(
+            system=system,
+            plan=report.plan,
+            result=None,
+            tuning_time_seconds=report.tuning_time_seconds,
+            extra=extra,
+            measured=dict(report.measured),
+        )
+    if system == "mist":
+        space = report.extra.get("space", SPACE_MIST.name)
+        return SystemOutcome(
+            system=f"mist[{space}]",
+            plan=report.plan,
+            result=report.result,
+            tuning_time_seconds=report.tuning_time_seconds,
+            extra={
+                "predicted_iteration_time": report.predicted.get(
+                    "iteration_time", float("inf")),
+                "configurations_evaluated": report.configurations_evaluated,
+                "space": space,
+            },
+            measured=dict(report.measured),
+        )
+    return SystemOutcome(
+        system=system,
+        plan=report.plan,
+        result=report.result,
+        tuning_time_seconds=report.tuning_time_seconds,
+        extra=dict(report.extra),
+        measured=dict(report.measured),
+    )
 
 
 def run_mist(spec: WorkloadSpec, *, space: SearchSpace = SPACE_MIST,
@@ -146,8 +224,8 @@ def run_baseline(spec: WorkloadSpec, system: str) -> SystemOutcome:
     """Run one baseline solver end to end (registry-driven)."""
     from repro.api import TuningJob, get_solver, solver_names
 
-    solver = _SOLVER_ALIASES.get(system, system)
-    valid = (set(BASELINE_TUNERS) | set(solver_names())) - {"mist"}
+    solver = _canonical_system(system)
+    valid = (set(solver_names()) | set(_LEGACY_SYSTEM_ALIASES)) - {"mist"}
     if system not in valid:
         raise KeyError(
             f"unknown baseline {system!r}; options: {sorted(valid)}"
@@ -179,23 +257,13 @@ def run_via_service(spec: WorkloadSpec, system: str, service_url: str, *,
     from repro.api import TuningJob
     from repro.service import Client
 
-    solver = _SOLVER_ALIASES.get(system, system)
+    solver = _canonical_system(system)
     job = TuningJob.from_workload(
         spec, scale=scale_ref(scale or current_scale()),
         parallelism=parallelism,
     )
     report = Client(service_url).solve(job, solver=solver, timeout=timeout)
-    extra = dict(report.extra)
-    extra["service_url"] = service_url
-    extra["from_cache"] = report.from_cache
-    return SystemOutcome(
-        system=system,
-        plan=report.plan,
-        result=None,
-        tuning_time_seconds=report.tuning_time_seconds,
-        extra=extra,
-        measured=dict(report.measured),
-    )
+    return _outcome_from_report(system, report, service_url=service_url)
 
 
 def compare_systems(spec: WorkloadSpec,
@@ -205,16 +273,50 @@ def compare_systems(spec: WorkloadSpec,
                     service_url: str | None = None) -> Comparison:
     """Measure every requested system on one workload.
 
-    With ``service_url``, every solve is delegated to that live
-    ``repro serve`` daemon instead of running in-process.
+    A thin wrapper over :func:`repro.campaigns.run_campaign`: the
+    workload and systems become a one-row campaign matrix, solved by
+    the ``inline`` executor — or, with ``service_url``, by the
+    ``service`` executor against that live ``repro serve`` daemon. The
+    per-system jobs (and so their plan-cache fingerprints) are
+    identical to what :func:`run_mist` / :func:`run_baseline` build.
     """
+    from repro.campaigns import CampaignSpec, run_campaign
+
+    scale = scale or current_scale()
+    solvers = tuple(_canonical_system(system) for system in systems)
+    cluster_entry = (dict(spec.cluster_dict) if spec.cluster_dict is not None
+                     else {"gpu": spec.gpu_name, "num_gpus": spec.num_gpus})
+    campaign = CampaignSpec(
+        name=f"compare-{spec.name}",
+        solvers=solvers,
+        models=(spec.model_spec,),
+        clusters=(cluster_entry,),
+        scales=(scale_ref(scale),),
+        seq_lens=(spec.seq_len,),
+        global_batches=(spec.global_batch,),
+        flash=spec.flash,
+    )
+    reports: dict[str, object] = {}
+    errors: dict[str, str] = {}
+
+    def on_event(record, report):
+        if report is not None:
+            reports[record["solver"]] = report
+        elif record.get("error"):
+            errors[record["solver"]] = record["error"]
+
+    executor = "inline" if service_url is None else "service"
+    options = {} if service_url is None else {"url": service_url}
+    run_campaign(campaign, executor=executor, executor_options=options,
+                 on_event=on_event)
+
     outcomes: dict[str, SystemOutcome] = {}
-    for system in systems:
-        if service_url is not None:
-            outcomes[system] = run_via_service(spec, system, service_url,
-                                               scale=scale)
-        elif system == "mist":
-            outcomes[system] = run_mist(spec, scale=scale)
-        else:
-            outcomes[system] = run_baseline(spec, system)
+    for system, solver in zip(systems, solvers):
+        report = reports.get(solver)
+        if report is None:
+            raise RuntimeError(
+                f"system {system!r} failed on {spec.name}: "
+                f"{errors.get(solver, 'no report produced')}")
+        outcomes[system] = _outcome_from_report(
+            system, report, service_url=service_url)
     return Comparison(workload=spec, outcomes=outcomes)

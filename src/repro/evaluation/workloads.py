@@ -33,6 +33,8 @@ __all__ = [
     "get_scale",
     "mixed_workload",
     "paper_workloads",
+    "batch_for_size",
+    "default_seq_len",
     "gpu_count_for_size",
     "scale_from_dict",
     "scale_ref",
@@ -51,6 +53,16 @@ GPUS_PER_NODE = 8
 
 def gpu_count_for_size(size: str) -> int:
     return _SIZE_TO_GPUS[size.lower()]
+
+
+def batch_for_size(size: str) -> int:
+    """Global batch the Table 4 scaling rule pairs with a model size."""
+    return _SIZE_TO_BATCH[size.lower()]
+
+
+def default_seq_len(gpu_name: str) -> int:
+    """Paper default: 2048 on L4 machines, 4096 otherwise."""
+    return 2048 if gpu_name == "L4" else 4096
 
 
 @dataclass(frozen=True)
@@ -128,7 +140,7 @@ def paper_workloads(gpu_name: str, *, family: str = "gpt3",
                                               "13b", "22b"),
                     flash: bool = True) -> list[WorkloadSpec]:
     """The Table 4 grid for one GPU type and model family."""
-    seq_len = 2048 if gpu_name == "L4" else 4096
+    seq_len = default_seq_len(gpu_name)
     return [
         WorkloadSpec(
             model_spec=f"{family}-{size}",

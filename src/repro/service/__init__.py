@@ -17,6 +17,9 @@ Endpoints (see ``docs/SERVICE.md`` for the wire reference)::
     GET  /jobs                list tracked jobs
     GET  /jobs/<id>           job status + report when done
     POST /jobs/<id>/cancel    cooperative cancellation
+    POST /campaigns           submit {"cells": [{"job": ..., "solver": ...}]}
+    GET  /campaigns           list campaigns (status + counters)
+    GET  /campaigns/<id>      campaign status + per-cell records
     GET  /plans/<fingerprint> cached report lookup (?solver=mist)
     GET  /healthz             liveness + registered solvers
     GET  /metrics             hits/misses/coalesced/latency counters
@@ -31,15 +34,22 @@ In-process use (tests, notebooks) needs no subprocess::
 """
 
 from .client import Client, ServiceError
-from .server import ServiceHandle, TuningService, UnknownJobError
-from .state import JobRecord, ServiceMetrics
+from .server import (
+    ServiceHandle,
+    TuningService,
+    UnknownCampaignError,
+    UnknownJobError,
+)
+from .state import CampaignRecord, JobRecord, ServiceMetrics
 
 __all__ = [
+    "CampaignRecord",
     "Client",
     "JobRecord",
     "ServiceError",
     "ServiceHandle",
     "ServiceMetrics",
     "TuningService",
+    "UnknownCampaignError",
     "UnknownJobError",
 ]

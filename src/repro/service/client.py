@@ -88,6 +88,32 @@ class Client:
     def cancel(self, job_id: str) -> dict:
         return self._request("POST", f"/jobs/{job_id}/cancel")
 
+    def submit_campaign(self, cells, name: str = "campaign") -> dict:
+        """``POST /campaigns``: submit a batch of cells as one campaign.
+
+        Each cell is a ``{"job": job_dict, "solver": name}`` dict, a
+        bare :class:`TuningJob` (solver defaults to ``"mist"``), or a
+        ``(job, solver)`` pair. Returns the campaign record; its
+        ``cells`` list carries one job record per cell, in order.
+        """
+        normalized = []
+        for cell in cells:
+            if isinstance(cell, dict):
+                normalized.append(cell)
+            elif isinstance(cell, TuningJob):
+                normalized.append({"job": cell.to_dict(), "solver": "mist"})
+            else:
+                job, solver = cell
+                normalized.append({"job": job.to_dict(), "solver": solver})
+        return self._request("POST", "/campaigns",
+                             {"name": name, "cells": normalized})
+
+    def campaigns(self) -> list[dict]:
+        return self._request("GET", "/campaigns")["campaigns"]
+
+    def campaign(self, campaign_id: str) -> dict:
+        return self._request("GET", f"/campaigns/{campaign_id}")
+
     def plan(self, fingerprint: str,
              solver: str = "mist") -> SolveReport | None:
         """Cached report for a fingerprint, or ``None`` when absent."""
@@ -116,6 +142,24 @@ class Client:
             if deadline is not None and time.monotonic() > deadline:
                 raise TimeoutError(
                     f"job {job_id} still {record['status']} "
+                    f"after {timeout:.1f}s")
+            time.sleep(poll_interval)
+
+    def wait_campaign(self, campaign_id: str, *,
+                      timeout: float | None = None,
+                      poll_interval: float = 0.1) -> dict:
+        """Poll until every cell finishes; returns the final record."""
+        deadline = (time.monotonic() + timeout) if timeout is not None \
+            else None
+        while True:
+            record = self.campaign(campaign_id)
+            if record["status"] != "running":
+                return record
+            if deadline is not None and time.monotonic() > deadline:
+                counters = record["counters"]
+                raise TimeoutError(
+                    f"campaign {campaign_id} still running "
+                    f"({counters['done']}/{counters['cells']} cells) "
                     f"after {timeout:.1f}s")
             time.sleep(poll_interval)
 

@@ -37,9 +37,10 @@ from repro.api import PlanCache, SolverNotFoundError, TuningJob, solve
 from repro.api.registry import solver_names
 from repro.core.tuner import SearchCancelled
 
-from .state import InFlight, JobRecord, ServiceMetrics
+from .state import CampaignRecord, InFlight, JobRecord, ServiceMetrics
 
-__all__ = ["ServiceHandle", "TuningService", "UnknownJobError"]
+__all__ = ["ServiceHandle", "TuningService", "UnknownCampaignError",
+           "UnknownJobError"]
 
 
 class UnknownJobError(KeyError):
@@ -48,6 +49,14 @@ class UnknownJobError(KeyError):
     def __init__(self, job_id: str):
         super().__init__(f"unknown job {job_id!r}")
         self.job_id = job_id
+
+
+class UnknownCampaignError(KeyError):
+    """No campaign record under the requested id."""
+
+    def __init__(self, campaign_id: str):
+        super().__init__(f"unknown campaign {campaign_id!r}")
+        self.campaign_id = campaign_id
 
 _MAX_BODY_BYTES = 8 * 2**20  # a TuningJob is KBs; reject absurd bodies
 
@@ -102,6 +111,7 @@ class TuningService:
         self.metrics = ServiceMetrics()
         self._solve = solve_fn if solve_fn is not None else solve
         self._jobs: dict[str, JobRecord] = {}
+        self._campaigns: dict[str, CampaignRecord] = {}
         self._inflight: dict[tuple[str, str], InFlight] = {}
         self._lock = threading.Lock()
         self._pool = ThreadPoolExecutor(max_workers=workers,
@@ -146,6 +156,50 @@ class TuningService:
             self._inflight[key] = flight
             self._pool.submit(self._run_flight, flight, job, solver)
         return record
+
+    def submit_campaign(self, cells: list, name: str = "campaign",
+                        ) -> CampaignRecord:
+        """Register a batch of ``{"job": ..., "solver": ...}`` cells.
+
+        Every cell is validated *before* any is submitted, so a bad
+        cell rejects the whole campaign instead of leaving a partial
+        batch behind. Each accepted cell then rides the ordinary
+        :meth:`submit` path — plan-cache hits complete immediately,
+        identical concurrent cells coalesce onto one search, the rest
+        queue on the bounded worker pool.
+        """
+        if not isinstance(cells, list) or not cells:
+            raise ValueError("campaign needs a non-empty cell list")
+        parsed: list[tuple[TuningJob, str]] = []
+        for index, cell in enumerate(cells):
+            if not isinstance(cell, dict):
+                raise ValueError(f"cell {index} must be an object")
+            solver = cell.get("solver", "mist")
+            if solver not in solver_names():
+                raise SolverNotFoundError(solver)
+            job_dict = cell.get("job")
+            if not isinstance(job_dict, dict):
+                raise ValueError(f'cell {index} must carry {{"job": ...}}')
+            try:
+                job = TuningJob.from_dict(job_dict)
+            except Exception as exc:  # noqa: BLE001 — user input
+                raise ValueError(f"cell {index}: invalid job: {exc}") \
+                    from None
+            parsed.append((job, solver))
+        records = [self.submit(job, solver) for job, solver in parsed]
+        campaign = CampaignRecord(name=str(name), records=records)
+        with self._lock:
+            self._campaigns[campaign.id] = campaign
+        self.metrics.inc("campaigns_submitted")
+        self.metrics.inc("campaign_cells", len(records))
+        return campaign
+
+    def get_campaign(self, campaign_id: str) -> CampaignRecord:
+        with self._lock:
+            campaign = self._campaigns.get(campaign_id)
+        if campaign is None:
+            raise UnknownCampaignError(campaign_id)
+        return campaign
 
     def get_job(self, job_id: str) -> JobRecord:
         with self._lock:
@@ -213,13 +267,21 @@ class TuningService:
         with self._lock:
             in_flight = len(self._inflight)
             tracked = len(self._jobs)
+            campaigns_tracked = len(self._campaigns)
         return self.metrics.snapshot(
-            in_flight=in_flight, tracked=tracked, workers=self.workers)
+            in_flight=in_flight, tracked=tracked, workers=self.workers,
+            campaigns_tracked=campaigns_tracked)
 
     def _jobs_body(self) -> dict:
         with self._lock:
             records = list(self._jobs.values())
         return {"jobs": [r.to_dict(include_report=False) for r in records]}
+
+    def _campaigns_body(self) -> dict:
+        with self._lock:
+            campaigns = list(self._campaigns.values())
+        return {"campaigns": [c.to_dict(include_cells=False)
+                              for c in campaigns]}
 
     def _finish_flight(self, flight: InFlight) -> None:
         """Detach the flight so later submissions go to the cache.
@@ -346,6 +408,32 @@ class TuningService:
                     None, self.cancel_job, segments[1])
                 return 200, record.to_dict()
             except UnknownJobError as exc:
+                raise _HttpError(404, exc.args[0]) from None
+        if segments == ["campaigns"]:
+            if method == "POST":
+                payload = self._parse_json(body)
+                cells = payload.get("cells")
+                name = payload.get("name", "campaign")
+                try:
+                    # validates + submits; cache reads stay off the loop
+                    campaign = await loop.run_in_executor(
+                        None, self.submit_campaign, cells, name)
+                except SolverNotFoundError as exc:
+                    raise _HttpError(404, exc.args[0]) from None
+                except ValueError as exc:
+                    raise _HttpError(400, str(exc)) from None
+                return 202, campaign.to_dict()
+            if method == "GET":
+                return 200, await loop.run_in_executor(
+                    None, self._campaigns_body)
+            raise _HttpError(405, f"{method} not allowed on /campaigns")
+        if (len(segments) == 2 and segments[0] == "campaigns"
+                and method == "GET"):
+            try:
+                campaign = await loop.run_in_executor(
+                    None, self.get_campaign, segments[1])
+                return 200, campaign.to_dict()
+            except UnknownCampaignError as exc:
                 raise _HttpError(404, exc.args[0]) from None
         if len(segments) == 2 and segments[0] == "plans" and method == "GET":
             solver = query.get("solver", "mist")

@@ -16,7 +16,8 @@ from dataclasses import dataclass, field
 from repro.api.job import TuningJob
 from repro.api.report import SolveReport
 
-__all__ = ["JOB_STATES", "InFlight", "JobRecord", "ServiceMetrics"]
+__all__ = ["CampaignRecord", "JOB_STATES", "InFlight", "JobRecord",
+           "ServiceMetrics"]
 
 #: lifecycle: queued -> running -> done | failed | cancelled
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
@@ -115,6 +116,61 @@ class JobRecord:
             return out
 
 
+def _new_campaign_id() -> str:
+    return f"camp-{uuid.uuid4().hex[:12]}"
+
+
+@dataclass
+class CampaignRecord:
+    """One ``POST /campaigns`` batch: a named list of cell job records.
+
+    The record only *groups* — each cell is an ordinary
+    :class:`JobRecord` that went through :meth:`TuningService.submit`,
+    so cache hits, coalescing, and cancellation all behave exactly as
+    for individually submitted jobs. The cell list is fixed at
+    creation; per-cell state lives on the records themselves.
+    """
+
+    name: str
+    records: list[JobRecord] = field(default_factory=list)
+    id: str = field(default_factory=_new_campaign_id)
+    created_at: float = field(default_factory=time.time)
+
+    @property
+    def status(self) -> str:
+        """``running`` -> ``failed`` (any bad cell) -> ``done``."""
+        statuses = [record.status for record in self.records]
+        if any(s not in TERMINAL_STATES for s in statuses):
+            return "running"
+        if any(s in ("failed", "cancelled") for s in statuses):
+            return "failed"
+        return "done"
+
+    def counters(self) -> dict:
+        statuses = [record.status for record in self.records]
+        return {
+            "cells": len(self.records),
+            "done": statuses.count("done"),
+            "failed": statuses.count("failed"),
+            "cancelled": statuses.count("cancelled"),
+            "from_cache": sum(1 for r in self.records if r.from_cache),
+            "coalesced": sum(1 for r in self.records if r.coalesced),
+        }
+
+    def to_dict(self, *, include_cells: bool = True) -> dict:
+        out = {
+            "id": self.id,
+            "name": self.name,
+            "created_at": self.created_at,
+            "status": self.status,
+            "counters": self.counters(),
+        }
+        if include_cells:
+            out["cells"] = [record.to_dict(include_report=False)
+                            for record in self.records]
+        return out
+
+
 class InFlight:
     """One running search shared by every coalesced submission.
 
@@ -170,6 +226,7 @@ class ServiceMetrics:
     _COUNTERS = (
         "jobs_submitted", "jobs_completed", "jobs_failed", "jobs_cancelled",
         "cache_hits", "cache_misses", "coalesced", "solver_invocations",
+        "campaigns_submitted", "campaign_cells",
     )
     #: prune-and-memoize counters accumulated from each completed
     #: search's ``SolveReport.search_stats`` (cache hits excluded — no
@@ -210,7 +267,7 @@ class ServiceMetrics:
                     self._search[name] += int(value)
 
     def snapshot(self, *, in_flight: int = 0, tracked: int = 0,
-                 workers: int = 0) -> dict:
+                 workers: int = 0, campaigns_tracked: int = 0) -> dict:
         with self._lock:
             counts = dict(self._counts)
             search = dict(self._search)
@@ -232,6 +289,11 @@ class ServiceMetrics:
             "cache": {
                 "hits": counts["cache_hits"],
                 "misses": counts["cache_misses"],
+            },
+            "campaigns": {
+                "submitted": counts["campaigns_submitted"],
+                "cells": counts["campaign_cells"],
+                "tracked": campaigns_tracked,
             },
             "solver": {
                 "invocations": counts["solver_invocations"],

@@ -1,0 +1,85 @@
+"""Shared fixtures for the campaign tests.
+
+Most tests drive the campaign machinery through *stub solvers* (solves
+take microseconds; invocation counters prove when a search actually
+ran). The resume/bit-identity tests that must cross a process boundary
+use the real registry solvers at smoke scale instead — stub
+registrations don't exist inside pool worker processes.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import SolveReport, register_solver
+from repro.campaigns import CampaignSpec
+
+
+class StubSolverState:
+    """Counters for one registered stub solver."""
+
+    def __init__(self, name: str, factor: float):
+        self.name = name
+        self.factor = factor
+        self.lock = threading.Lock()
+        self.invocations = 0
+        self.fail_on: set[str] = set()
+
+    def reset(self):
+        with self.lock:
+            self.invocations = 0
+            self.fail_on = set()
+
+
+def _make_stub(name: str, factor: float) -> StubSolverState:
+    state = StubSolverState(name, factor)
+
+    @register_solver(name, overwrite=True)
+    class _Stub:  # noqa: F841 — registered for its side effect
+        def solve(self, job):
+            with state.lock:
+                state.invocations += 1
+                if job.fingerprint() in state.fail_on:
+                    raise RuntimeError("stub ordered to fail")
+            return SolveReport(
+                solver=name, job=job,
+                measured={"throughput": float(job.global_batch)
+                          * state.factor,
+                          "iteration_time": 0.1},
+                tuning_time_seconds=0.01,
+                configurations_evaluated=3,
+            )
+
+    return state
+
+
+_CAMP_A = _make_stub("camp-a", 1.0)
+_CAMP_B = _make_stub("camp-b", 1.5)
+
+
+@pytest.fixture()
+def stub_a() -> StubSolverState:
+    _CAMP_A.reset()
+    return _CAMP_A
+
+
+@pytest.fixture()
+def stub_b() -> StubSolverState:
+    _CAMP_B.reset()
+    return _CAMP_B
+
+
+@pytest.fixture()
+def stub_spec(stub_a, stub_b) -> CampaignSpec:
+    """2 solvers x 2 batches on a tiny implied cluster = 4 cells."""
+    return CampaignSpec(
+        name="stub-grid",
+        solvers=("camp-a", "camp-b"),
+        models=("gpt3-1.3b",),
+        clusters=({"gpu": "L4", "num_gpus": 2},),
+        scales=("smoke",),
+        global_batches=(8, 16),
+        interference="none",
+    )

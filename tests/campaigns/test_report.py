@@ -1,0 +1,63 @@
+"""Tests for campaign aggregation: counters, speedups, round-trips."""
+
+import pytest
+
+from repro.campaigns import CampaignReport, aggregate, run_campaign
+
+
+class TestAggregation:
+    def test_counters_and_table(self, stub_spec, stub_a, stub_b):
+        report = run_campaign(stub_spec)
+        assert report.complete
+        assert report.counters["solved"] == 4
+        # camp-b returns 1.5x camp-a's throughput on every cell
+        speedups = report.speedups(reference="camp-a")
+        for row in speedups.values():
+            assert row["camp-b"] == pytest.approx(1.5)
+            assert row["camp-a"] == pytest.approx(1.0)
+        table = report.table()
+        assert "camp-a (samp/s | x)" in table
+        assert "1.50x" in table
+
+    def test_default_reference_is_first_solver(self, stub_spec, stub_a,
+                                               stub_b):
+        report = run_campaign(stub_spec)
+        assert report.reference() == "camp-a"
+        assert run_campaign(
+            stub_spec.with_(reference="camp-b")).reference() == "camp-b"
+
+    def test_missing_reference_raises_clear_error(self, stub_spec, stub_a,
+                                                  stub_b):
+        report = run_campaign(stub_spec)
+        with pytest.raises(ValueError, match="available"):
+            report.speedups(reference="megatron")
+
+    def test_json_round_trip(self, stub_spec, stub_a, stub_b):
+        report = run_campaign(stub_spec)
+        loaded = CampaignReport.from_json(report.to_json())
+        assert loaded.to_json() == report.to_json()
+        assert loaded.counters == report.counters
+        assert loaded.spec == stub_spec
+
+    def test_comparisons_round_trip_to_runner_shapes(self, stub_spec,
+                                                     stub_a, stub_b):
+        report = run_campaign(stub_spec)
+        comparisons = report.comparisons()
+        assert len(comparisons) == 2      # one per workload
+        for name, comparison in comparisons.items():
+            assert comparison.workload.name == name
+            assert comparison.speedup("camp-b", reference="camp-a") \
+                == pytest.approx(1.5)
+
+    def test_failures_render_as_zero(self, stub_spec, stub_a, stub_b):
+        bad = stub_spec.expand()[0]
+        stub_a.fail_on.add(bad.job.fingerprint())
+        report = run_campaign(stub_spec)
+        assert report.results()[bad.workload]["camp-a"] == 0.0
+        assert "OOM/none" in report.table()
+
+    def test_aggregate_of_empty_records(self):
+        report = aggregate(None, [])
+        assert report.counters["cells"] == 0
+        assert report.reference() == ""
+        assert "0/0" in report.describe()

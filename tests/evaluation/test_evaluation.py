@@ -96,6 +96,107 @@ class TestRunner:
             run_baseline(self.SPEC, "alpa")
 
 
+class TestRunnerDeprecations:
+    SPEC = WorkloadSpec("gpt3-1.3b", "L4", 2, 16, 2048)
+
+    def test_baseline_tuners_shim_warns(self):
+        import repro.evaluation as evaluation
+
+        with pytest.warns(DeprecationWarning, match="BASELINE_TUNERS"):
+            tuners = evaluation.BASELINE_TUNERS
+        assert set(tuners) == {"megatron", "deepspeed", "aceso",
+                               "uniform-heuristic"}
+
+    def test_runner_module_shim_warns_too(self):
+        from repro.evaluation import runner
+
+        with pytest.warns(DeprecationWarning):
+            runner.BASELINE_TUNERS
+        with pytest.raises(AttributeError):
+            runner.NO_SUCH_THING
+
+    def test_legacy_uniform_heuristic_alias(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        with pytest.warns(DeprecationWarning, match="uniform"):
+            outcome = run_baseline(self.SPEC, "uniform-heuristic")
+        assert outcome.found
+        assert outcome.system == "uniform-heuristic"
+
+
+class TestComparison:
+    def _comparison(self):
+        from repro.evaluation.runner import Comparison, SystemOutcome
+
+        def outcome(name, throughput):
+            return SystemOutcome(system=name, plan=None, result=None,
+                                 tuning_time_seconds=0.0,
+                                 measured={"throughput": throughput})
+
+        spec = WorkloadSpec("gpt3-1.3b", "L4", 2, 16, 2048)
+        return Comparison(workload=spec, outcomes={
+            "megatron": outcome("megatron", 2.0),
+            "mist": outcome("mist", 3.0),
+        })
+
+    def test_speedup(self):
+        assert self._comparison().speedup("mist") == pytest.approx(1.5)
+
+    def test_missing_reference_is_a_clear_valueerror(self):
+        with pytest.raises(ValueError) as err:
+            self._comparison().speedup("mist", reference="deepspeed")
+        message = str(err.value)
+        assert "deepspeed" in message
+        assert "megatron" in message and "mist" in message
+
+    def test_missing_system_is_a_clear_valueerror(self):
+        with pytest.raises(ValueError, match="available"):
+            self._comparison().speedup("alpa")
+
+
+class TestCompareSystemsViaCampaign:
+    def test_inline_comparison_over_stub_solvers(self):
+        from repro.api import SolveReport, register_solver
+        from repro.evaluation import SCALES
+        from repro.evaluation.runner import compare_systems
+
+        @register_solver("eval-a", overwrite=True)
+        class EvalA:
+            def solve(self, job):
+                return SolveReport(solver="eval-a", job=job,
+                                   measured={"throughput": 2.0,
+                                             "iteration_time": 0.1})
+
+        @register_solver("eval-b", overwrite=True)
+        class EvalB:
+            def solve(self, job):
+                return SolveReport(solver="eval-b", job=job,
+                                   measured={"throughput": 5.0,
+                                             "iteration_time": 0.1})
+
+        spec = WorkloadSpec("gpt3-1.3b", "L4", 2, 16, 2048)
+        comparison = compare_systems(spec, systems=("eval-a", "eval-b"),
+                                     scale=SCALES["smoke"])
+        assert comparison.workload is spec
+        assert comparison.outcomes["eval-a"].throughput == 2.0
+        assert comparison.speedup("eval-b", reference="eval-a") \
+            == pytest.approx(2.5)
+
+    def test_failed_system_raises_with_detail(self):
+        from repro.api import register_solver
+        from repro.evaluation import SCALES
+        from repro.evaluation.runner import compare_systems
+
+        @register_solver("eval-boom", overwrite=True)
+        class EvalBoom:
+            def solve(self, job):
+                raise RuntimeError("boom")
+
+        spec = WorkloadSpec("gpt3-1.3b", "L4", 2, 16, 2048)
+        with pytest.raises(RuntimeError, match="boom"):
+            compare_systems(spec, systems=("eval-boom",),
+                            scale=SCALES["smoke"])
+
+
 class TestReporting:
     def test_format_table_alignment(self):
         table = format_table(["a", "long header"], [[1, 2], [333, 4]])

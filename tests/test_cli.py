@@ -296,6 +296,104 @@ class TestSweep:
         assert "--reference" in capsys.readouterr().out
 
 
+class TestCampaignCommand:
+    SPEC = {
+        "name": "cli-grid",
+        "solvers": ["megatron", "mist"],
+        "models": ["gpt3-1.3b"],
+        "clusters": [{"gpu": "L4", "num_gpus": 2}],
+        "scales": ["smoke"],
+        "global_batches": [8],
+        "interference": "none",
+    }
+
+    def _spec_file(self, tmp_path) -> str:
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(self.SPEC))
+        return str(path)
+
+    def test_run_then_resume_zero_new_searches(self, capsys, tmp_path):
+        spec = self._spec_file(tmp_path)
+        run_dir = str(tmp_path / "run")
+        out_file = tmp_path / "report.json"
+        code = main(["campaign", "run", spec, "--dir", run_dir,
+                     "--json", str(out_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "samples/s" in out
+        assert "2/2 cells done" in out
+        assert "solved 2" in out
+
+        from repro.campaigns import CampaignReport
+
+        report = CampaignReport.from_json(out_file.read_text())
+        assert report.complete
+        assert report.counters["solved"] == 2
+
+        # immediate --resume: everything from the manifest, no searches
+        code = main(["campaign", "run", spec, "--dir", run_dir,
+                     "--resume", "--json", str(out_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(manifest)" in out
+        resumed = CampaignReport.from_json(out_file.read_text())
+        assert resumed.counters["solved"] == 0
+        assert resumed.counters["manifest_hits"] == 2
+        # per-cell plans identical across runs (and so to solve())
+        assert ([rec["plan"] for rec in resumed.cells]
+                == [rec["plan"] for rec in report.cells])
+
+    def test_status_and_report_commands(self, capsys, tmp_path):
+        spec = self._spec_file(tmp_path)
+        run_dir = str(tmp_path / "run")
+        assert main(["campaign", "run", spec, "--dir", run_dir]) == 0
+        capsys.readouterr()
+
+        assert main(["campaign", "status", "--dir", run_dir]) == 0
+        out = capsys.readouterr().out
+        assert "cli-grid" in out
+        assert "2/2 done" in out
+
+        out_file = tmp_path / "again.json"
+        assert main(["campaign", "report", "--dir", run_dir,
+                     "--json", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "megatron (samp/s | x)" in out
+        assert json.loads(out_file.read_text())["counters"]["done"] == 2
+
+    def test_missing_spec_file_clean_error(self, capsys):
+        assert main(["campaign", "run", "/no/such/spec.json"]) == 2
+        assert "invalid campaign spec" in capsys.readouterr().out
+
+    def test_invalid_spec_clean_error(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "x", "solvers": []}))
+        assert main(["campaign", "run", str(path)]) == 2
+        assert ">= 1 solver" in capsys.readouterr().out
+
+    def test_resume_requires_dir(self, capsys, tmp_path):
+        assert main(["campaign", "run", self._spec_file(tmp_path),
+                     "--resume"]) == 2
+        assert "--resume requires --dir" in capsys.readouterr().out
+
+    def test_service_executor_requires_url(self, capsys, tmp_path):
+        assert main(["campaign", "run", self._spec_file(tmp_path),
+                     "--executor", "service"]) == 2
+        assert "--service-url" in capsys.readouterr().out
+
+    def test_status_without_manifest(self, capsys, tmp_path):
+        assert main(["campaign", "status", "--dir",
+                     str(tmp_path / "nope")]) == 2
+        assert "no readable campaign manifest" in capsys.readouterr().out
+
+    def test_unknown_solver_in_spec(self, capsys, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(
+            {**self.SPEC, "solvers": ["alpa"]}))
+        assert main(["campaign", "run", str(path)]) == 2
+        assert "unknown solver" in capsys.readouterr().out
+
+
 class TestServeCommand:
     def test_serve_parser_defaults(self):
         args = build_parser().parse_args(["serve"])
