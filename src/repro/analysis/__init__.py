@@ -1,0 +1,53 @@
+"""``repro check`` — AST-based invariant checker for this repo.
+
+Static analysis that enforces the contracts the test suite cannot see
+per-commit: determinism of fingerprint/memo/serialization paths,
+``to_dict``/``from_dict`` agreement, a non-blocking service event loop,
+lock discipline around shared state, and registry-mediated access to
+solver/executor implementations.
+
+Rules are plain classes registered with
+:func:`~repro.analysis.registry.register_rule` — the same decorator
+pattern as ``@register_solver`` — and run by
+:func:`~repro.analysis.runner.run_check`. Findings are silenced inline
+with ``# repro: allow[rule-id] <justification>``; stale allows are
+themselves reported. See ``docs/CHECKS.md`` for the rule catalog.
+"""
+
+from __future__ import annotations
+
+from .config import DEFAULT_CONFIG, CheckConfig, path_matches
+from .findings import Finding
+from .project import ModuleSource, Project, iter_python_files
+from .registry import (
+    RuleNotFoundError,
+    get_rule,
+    register_rule,
+    rule_names,
+    rule_registry,
+)
+from .runner import CheckResult, check_project, run_check
+from .suppressions import UNUSED_RULE_ID, SuppressionIndex
+
+# importing the subpackage registers every built-in rule
+from . import rules as rules  # noqa: F401
+
+__all__ = [
+    "CheckConfig",
+    "CheckResult",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "ModuleSource",
+    "Project",
+    "RuleNotFoundError",
+    "SuppressionIndex",
+    "UNUSED_RULE_ID",
+    "check_project",
+    "get_rule",
+    "iter_python_files",
+    "path_matches",
+    "register_rule",
+    "rule_names",
+    "rule_registry",
+    "run_check",
+]

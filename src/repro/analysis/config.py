@@ -1,0 +1,68 @@
+"""Where each rule family applies: the project's invariant surface map.
+
+Path patterns are matched against a module's POSIX-style path:
+
+* a pattern ending in ``/`` matches any module under that directory
+  (``repro/service/`` matches ``src/repro/service/server.py``);
+* any other pattern is a path suffix (``repro/api/job.py`` matches
+  ``src/repro/api/job.py`` and ``/checkout/src/repro/api/job.py``).
+
+The defaults encode this repo's contracts; tests (and downstream
+embedders) construct a custom :class:`CheckConfig` to point rules at
+fixture trees instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CheckConfig", "DEFAULT_CONFIG", "path_matches"]
+
+
+def path_matches(rel: str, patterns: tuple[str, ...]) -> bool:
+    """True when ``rel`` (POSIX path) matches any pattern."""
+    probe = "/" + rel.replace("\\", "/")
+    for pattern in patterns:
+        if pattern.endswith("/"):
+            if f"/{pattern}" in probe + "/":
+                return True
+        elif probe.endswith("/" + pattern):
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Per-rule path scoping (see module docstring for pattern syntax)."""
+
+    #: fingerprint / memo-key / serialization code paths: anything
+    #: wall-clock, RNG- or hash-order-dependent here corrupts the
+    #: PlanCache, campaign resume, or the CI perf gate
+    determinism_paths: tuple[str, ...] = (
+        "repro/api/job.py",
+        "repro/api/cache.py",
+        "repro/api/report.py",
+        "repro/core/memo.py",
+        "repro/core/plan.py",
+        "repro/campaigns/spec.py",
+        "repro/campaigns/manifest.py",
+        "repro/service/state.py",
+    )
+    #: modules whose ``async def`` bodies share the service event loop
+    async_paths: tuple[str, ...] = (
+        "repro/service/",
+    )
+    #: modules allowed to import registry-decorated classes directly
+    #: (everyone else dispatches by name through the registry)
+    registry_allowed_paths: tuple[str, ...] = (
+        "repro/api/registry.py",
+        "repro/campaigns/executors.py",
+        "repro/analysis/registry.py",
+        # the built-in rule package is its own registration wiring
+        "repro/analysis/rules/",
+        "tests/",
+        "conftest.py",
+    )
+
+
+DEFAULT_CONFIG = CheckConfig()

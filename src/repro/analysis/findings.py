@@ -1,0 +1,57 @@
+"""The unit of ``repro check`` output: one rule violation at one line.
+
+Findings are plain data — JSON round-trippable so the CI ``check`` job
+can upload the report as an artifact and tooling can diff runs — and
+carry a ``hint`` so every violation names its fix, not just its
+location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation: rule id, location, message, fix hint."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    hint: str = ""
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def format(self) -> str:
+        """The one-line text rendering (``--format text``)."""
+        out = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.hint:
+            out += f"\n    hint: {self.hint}"
+        return out
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.rule, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(
+            rule=str(data["rule"]),
+            path=str(data["path"]),
+            line=int(data["line"]),
+            message=str(data["message"]),
+            hint=str(data.get("hint", "")),
+        )

@@ -1,0 +1,85 @@
+"""Registry-discipline rule: resolve implementations via the registry.
+
+Solvers and executors are looked up by name through
+``repro.api.registry`` / the campaign executor table — that indirection
+is what lets ``repro serve`` and campaign specs select implementations
+from strings, and what keeps new backends drop-in. A direct
+``from repro.api.solvers import MistSolver`` elsewhere re-couples the
+call site to one concrete class and bypasses registration side effects.
+
+This rule runs in two passes: first it collects every class registered
+with ``@register_solver`` / ``@register_executor`` / ``@register_rule``
+and the module defining it; then it flags ``from ... import <That>``
+of those class names anywhere outside the allowed path set
+(:attr:`~repro.analysis.config.CheckConfig.registry_allowed_paths`:
+the registry modules themselves, executor wiring, and tests) and
+outside the defining module's own package ``__init__`` re-exports —
+which still need a suppression, keeping each one visible and justified.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..config import path_matches
+from ..findings import Finding
+from ..project import Project, dotted_name
+from ..registry import register_rule
+
+__all__ = ["RegistryDisciplineRule"]
+
+_REGISTER_DECORATORS = {
+    "register_solver", "register_executor", "register_rule",
+}
+
+
+def _registered_classes(project: Project) -> "dict[str, str]":
+    """Map registered class name -> path of the module defining it."""
+    registered: dict = {}
+    for module in project.modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for deco in node.decorator_list:
+                target = deco.func if isinstance(deco, ast.Call) else deco
+                name = dotted_name(target)
+                if (name is not None
+                        and name.split(".")[-1] in _REGISTER_DECORATORS):
+                    registered[node.name] = module.path
+                    break
+    return registered
+
+
+@register_rule("registry-discipline")
+class RegistryDisciplineRule:
+    """Forbid importing registered classes outside the registry layer."""
+
+    hint = ("look implementations up by name via the registry instead of "
+            "importing concrete classes")
+
+    def check(self, project: Project) -> list[Finding]:
+        registered = _registered_classes(project)
+        if not registered:
+            return []
+        findings: list[Finding] = []
+        for module in project.modules:
+            if path_matches(module.path,
+                            project.config.registry_allowed_paths):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ImportFrom):
+                    continue
+                for alias in node.names:
+                    origin = registered.get(alias.name)
+                    if origin is None or origin == module.path:
+                        continue
+                    findings.append(Finding(
+                        rule="registry-discipline", path=module.path,
+                        line=alias.lineno,
+                        message=f"direct import of registered class "
+                                f"{alias.name!r} (defined in {origin})",
+                        hint="resolve it by name via get_solver()/"
+                             "get_executor(), or suppress a deliberate "
+                             "public re-export",
+                    ))
+        return findings

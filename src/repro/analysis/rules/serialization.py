@@ -1,0 +1,196 @@
+"""Serialization-contract rule: ``to_dict`` and ``from_dict`` must agree.
+
+Every JSON-round-trippable dataclass in the tree (``TuningJob``,
+``SolveReport``, ``TrainingPlan``, ``CampaignSpec``, ...) follows one
+contract: ``from_dict(to_dict(x))`` reconstructs ``x``. The drift that
+breaks it is always the same — a field added to the dataclass but not
+to ``to_dict``, or a key renamed on one side only — and it corrupts
+cache entries and campaign manifests long after the commit that caused
+it. This rule cross-checks, per dataclass that defines ``to_dict``:
+
+* a ``from_dict`` classmethod exists in the same class (one-way wire
+  snapshots suppress with a justification);
+* every key ``to_dict`` emits (dict-literal keys plus ``out["k"] = ...``
+  assignments) is read back by ``from_dict`` (``data["k"]`` /
+  ``data.get("k")``; a ``__dataclass_fields__`` sweep reads everything);
+* every key ``from_dict`` *requires* (``data["k"]``) is emitted;
+* every dataclass field is emitted, except private (``_x``) and
+  runtime-only fields (``field(..., repr=False)``).
+
+Classes whose ``to_dict`` delegates (no dict literal in the body) are
+skipped — the contract is checked where the keys live.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from ..project import ModuleSource, Project, dotted_name
+from ..registry import register_rule
+
+__all__ = ["SerializationRule"]
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = dotted_name(target)
+        if name is not None and name.split(".")[-1] == "dataclass":
+            return True
+    return False
+
+
+def _method(node: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef) and item.name == name:
+            return item
+    return None
+
+
+def _emitted_keys(to_dict: ast.FunctionDef) -> set:
+    """String keys ``to_dict`` can emit (dict literals + subscripts)."""
+    keys: set = set()
+    for node in ast.walk(to_dict):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value,
+                                                                str):
+                    keys.add(key.value)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (isinstance(target, ast.Subscript)
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)):
+                    keys.add(target.slice.value)
+    return keys
+
+
+def _consumed_keys(from_dict: ast.FunctionDef) -> "tuple[set, set, bool]":
+    """``(consumed, required, wildcard)`` key sets of ``from_dict``."""
+    consumed: set = set()
+    required: set = set()
+    wildcard = False
+    args = from_dict.args.posonlyargs + from_dict.args.args
+    data_name = args[1].arg if len(args) > 1 else None
+    for node in ast.walk(from_dict):
+        if isinstance(node, ast.Attribute):
+            if node.attr == "__dataclass_fields__":
+                wildcard = True
+        elif (isinstance(node, ast.Subscript)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == data_name
+                and isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)):
+            consumed.add(node.slice.value)
+            required.add(node.slice.value)
+        elif (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == data_name
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)):
+            consumed.add(node.args[0].value)
+    return consumed, required, wildcard
+
+
+def _is_classvar(annotation: ast.AST) -> bool:
+    target = annotation
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    name = dotted_name(target)
+    return name is not None and name.split(".")[-1] == "ClassVar"
+
+
+def _field_entries(node: ast.ClassDef) -> "list[tuple[str, int, bool]]":
+    """``(name, line, runtime_only)`` per dataclass field declaration."""
+    out = []
+    for item in node.body:
+        if not (isinstance(item, ast.AnnAssign)
+                and isinstance(item.target, ast.Name)):
+            continue
+        if _is_classvar(item.annotation):
+            continue
+        runtime_only = False
+        value = item.value
+        if (isinstance(value, ast.Call)
+                and dotted_name(value.func) in ("field",
+                                                "dataclasses.field")):
+            for kw in value.keywords:
+                if (kw.arg == "repr"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is False):
+                    runtime_only = True
+        out.append((item.target.id, item.lineno, runtime_only))
+    return out
+
+
+@register_rule("serialization")
+class SerializationRule:
+    """Cross-check every dataclass ``to_dict``/``from_dict`` pair."""
+
+    hint = ("round-trippable dataclasses must serialize every field and "
+            "read back every key they emit")
+
+    def check(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef) and _is_dataclass(node):
+                    findings.extend(self._check_class(module, node))
+        return findings
+
+    def _check_class(self, module: ModuleSource,
+                     node: ast.ClassDef) -> list[Finding]:
+        to_dict = _method(node, "to_dict")
+        if to_dict is None:
+            return []
+        from_dict = _method(node, "from_dict")
+        if from_dict is None:
+            return [Finding(
+                rule="serialization", path=module.path,
+                line=to_dict.lineno,
+                message=f"dataclass {node.name!r} defines to_dict but no "
+                        f"from_dict",
+                hint="add a from_dict classmethod, or suppress for a "
+                     "one-way wire snapshot",
+            )]
+        emitted = _emitted_keys(to_dict)
+        if not emitted:
+            # to_dict delegates (e.g. to a module-level serializer);
+            # the keys live elsewhere, nothing to cross-check here
+            return []
+        findings: list[Finding] = []
+        consumed, required, wildcard = _consumed_keys(from_dict)
+        if not wildcard:
+            for key in sorted(emitted - consumed):
+                findings.append(Finding(
+                    rule="serialization", path=module.path,
+                    line=to_dict.lineno,
+                    message=f"{node.name}.to_dict emits {key!r} but "
+                            f"from_dict never reads it",
+                    hint="read it back in from_dict (data.get(...)), or "
+                         "stop emitting it",
+                ))
+        for key in sorted(required - emitted):
+            findings.append(Finding(
+                rule="serialization", path=module.path,
+                line=from_dict.lineno,
+                message=f"{node.name}.from_dict requires {key!r} but "
+                        f"to_dict never emits it",
+                hint="emit the key in to_dict, or make it optional with "
+                     "data.get(...)",
+            ))
+        for name, line, runtime_only in _field_entries(node):
+            if name.startswith("_") or runtime_only or name in emitted:
+                continue
+            findings.append(Finding(
+                rule="serialization", path=module.path, line=line,
+                message=f"dataclass field {node.name}.{name} is never "
+                        f"emitted by to_dict; round-trips drop it",
+                hint="serialize it, or mark it runtime-only with "
+                     "field(..., repr=False)",
+            ))
+        return findings

@@ -37,7 +37,7 @@ class PlanCache:
     serve`` daemon shares a single instance across its worker pool.
     """
 
-    def __init__(self, root: "str | Path | None" = None):
+    def __init__(self, root: "str | Path | None" = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
 
     def path_for(self, job: TuningJob, solver: str) -> Path:

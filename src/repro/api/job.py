@@ -26,6 +26,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field, replace
+from typing import Any
 
 from repro.core.spaces import SearchSpace, get_space, space_from_dict
 from repro.evaluation.workloads import (
@@ -83,7 +84,7 @@ class TuningJob:
     #: free-form per-solver knobs (must stay JSON-serializable)
     options: dict = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.num_gpus < 1:
             raise JobValidationError("num_gpus must be >= 1")
         if self.cluster is not None:
@@ -128,7 +129,8 @@ class TuningJob:
         return self.workload.cluster
 
     @classmethod
-    def from_workload(cls, spec: WorkloadSpec, **overrides) -> "TuningJob":
+    def from_workload(cls, spec: WorkloadSpec,
+                      **overrides: Any) -> "TuningJob":
         if spec.cluster_dict is not None:
             overrides.setdefault("cluster", spec.cluster_dict)
         return cls(
@@ -141,7 +143,7 @@ class TuningJob:
     def for_cluster(cls,
                     cluster: "dict | ClusterSpec | HeterogeneousCluster",
                     *, model: str, global_batch: int, seq_len: int = 2048,
-                    flash: bool = True, **kwargs) -> "TuningJob":
+                    flash: bool = True, **kwargs: Any) -> "TuningJob":
         """Build a job for an explicit (possibly heterogeneous) cluster.
 
         ``num_gpus`` and ``gpu`` are derived from the cluster (via
@@ -167,7 +169,7 @@ class TuningJob:
             return get_scale(self.scale)
         return scale_from_dict(self.scale)
 
-    def with_(self, **changes) -> "TuningJob":
+    def with_(self, **changes: Any) -> "TuningJob":
         return replace(self, **changes)
 
     # -- serialization -----------------------------------------------------

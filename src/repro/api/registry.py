@@ -19,7 +19,7 @@ code fork.
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import Callable, Protocol, runtime_checkable
 
 from .job import TuningJob
 from .report import SolveReport
@@ -39,7 +39,7 @@ _REGISTRY: dict[str, type] = {}
 class SolverNotFoundError(KeyError):
     """No solver registered under the requested name."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         super().__init__(
             f"unknown solver {name!r}; registered: {solver_names()}"
         )
@@ -54,7 +54,8 @@ class Solver(Protocol):
         ...
 
 
-def register_solver(name: str, *, overwrite: bool = False):
+def register_solver(name: str, *,
+                    overwrite: bool = False) -> Callable[[type], type]:
     """Class decorator: expose a solver class under ``name``."""
 
     def decorate(cls: type) -> type:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import inspect
 import warnings
+from typing import Any, Callable, ClassVar
 
 from repro.baselines import (
     AcesoTuner,
@@ -36,7 +37,7 @@ from repro.baselines import (
 from repro.core import MistTuner
 from repro.evaluation.runner import calibrated_interference
 from repro.execution import ExecutionEngine, IterationResult, OOMError
-from repro.hardware import HeterogeneousCluster
+from repro.hardware import ClusterSpec, HeterogeneousCluster
 
 from .cache import PlanCache
 from .job import TuningJob
@@ -63,7 +64,7 @@ def _measured(result: IterationResult | None) -> dict:
     }
 
 
-def _job_interference(job: TuningJob):
+def _job_interference(job: TuningJob) -> Any:
     """Interference model(s) for the job's fabric(s).
 
     Homogeneous clusters get one calibrated model; heterogeneous
@@ -81,7 +82,9 @@ def _job_interference(job: TuningJob):
     return calibrated_interference(not cluster.gpu.has_nvlink)
 
 
-def _baseline_cluster(job: TuningJob, solver_name: str):
+def _baseline_cluster(
+        job: TuningJob,
+        solver_name: str) -> "ClusterSpec | HeterogeneousCluster":
     """Baselines see mixed fleets as worst-GPU homogeneous (warned)."""
     cluster = job.resolved_cluster()
     if isinstance(cluster, HeterogeneousCluster):
@@ -105,8 +108,10 @@ class MistSolver:
     cooperatively (raising :class:`~repro.core.tuner.SearchCancelled`).
     """
 
-    def solve(self, job: TuningJob, *, progress=None,
-              should_stop=None) -> SolveReport:
+    def solve(self, job: TuningJob, *,
+              progress: "Callable[[int, int], None] | None" = None,
+              should_stop: "Callable[[], bool] | None" = None
+              ) -> SolveReport:
         spec = job.workload
         cluster = spec.cluster  # ClusterSpec or HeterogeneousCluster
         scale = job.resolved_scale()
@@ -164,9 +169,11 @@ class MistSolver:
 class _BaselineSolver:
     """Shared adapter: wrap a baseline tuner class into the protocol."""
 
-    tuner_cls: type = None
+    #: set by the decorator in :func:`register_solver`
+    solver_name: ClassVar[str]
+    tuner_cls: "ClassVar[type | None]" = None
 
-    def make_tuner(self, job: TuningJob):
+    def make_tuner(self, job: TuningJob) -> Any:
         spec = job.workload
         cluster = _baseline_cluster(job, self.solver_name)
         return self.tuner_cls(spec.model, cluster,
@@ -221,7 +228,7 @@ class UniformSolver(_BaselineSolver):
 
     tuner_cls = UniformHeuristicTuner
 
-    def make_tuner(self, job: TuningJob):
+    def make_tuner(self, job: TuningJob) -> Any:
         spec = job.workload
         space = job.resolved_scale().apply(job.resolved_space())
         cluster = _baseline_cluster(job, self.solver_name)
@@ -238,7 +245,8 @@ class UniformSolver(_BaselineSolver):
 
 def solve(job: TuningJob, solver: str = "mist", *,
           cache: PlanCache | None = None,
-          progress=None, should_stop=None) -> SolveReport:
+          progress: "Callable[[int, int], None] | None" = None,
+          should_stop: "Callable[[], bool] | None" = None) -> SolveReport:
     """Solve ``job`` with the named registered solver.
 
     With a ``cache``, a previously solved equivalent job is returned

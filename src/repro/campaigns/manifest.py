@@ -81,7 +81,7 @@ def finished_cell_record(cell: CampaignCell, *, status: str, source: str,
         plan=(report.plan.to_dict()
               if report is not None and report.plan is not None
               else None),
-        finished_at=time.time(),
+        finished_at=time.time(),  # repro: allow[determinism] display timestamp, excluded from resume keys
     )
     return record
 
@@ -210,7 +210,7 @@ class CampaignManifest:
 
     def event(self, payload: dict) -> None:
         """Append one JSON line to the streaming event log."""
-        line = json.dumps({"ts": time.time(), **payload}, sort_keys=True)
+        line = json.dumps({"ts": time.time(), **payload}, sort_keys=True)  # repro: allow[determinism] event-log display timestamp
         with self.events_path.open("a") as fh:
             fh.write(line + "\n")
 

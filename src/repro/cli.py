@@ -27,6 +27,9 @@ Commands:
 * ``solvers``  — list the registered solver backends.
 * ``models``   — list available model configurations.
 * ``analyze``  — predict time/memory for an explicit configuration.
+* ``check``    — run the AST-based invariant checker (determinism,
+  serialization contracts, async-safety, lock discipline, registry
+  discipline) over the tree; see ``docs/CHECKS.md``.
 
 Examples::
 
@@ -395,7 +398,8 @@ def _manifest_report(manifest):
             cells = [recorded.get(cell.cell_id)
                      or pending_cell_record(cell)
                      for cell in expanded]
-        except Exception:  # noqa: BLE001 — fall back to recorded cells
+        except (KeyError, TypeError, ValueError):
+            # malformed/foreign spec dict — fall back to recorded cells
             pass
     return aggregate(spec, cells, executor="manifest")
 
@@ -532,7 +536,9 @@ def _cmd_analyze(args) -> int:
             zero=args.zero, ckpt_all=ckpt_all,
             oo=args.oo, ao=args.ao,
         )
-    except Exception as exc:
+    except (ValueError, ZeroDivisionError) as exc:
+        # uniform_plan raises PlanValidationError (a ValueError) on an
+        # infeasible configuration; degenerate shapes divide by zero
         print(f"invalid configuration: {exc}")
         return 1
     engine = ExecutionEngine(cluster, system="mist")
@@ -548,6 +554,31 @@ def _cmd_analyze(args) -> int:
         print()
         print(render_timeline(result.pipeline, width=100))
     return 0
+
+
+def _cmd_check(args) -> int:
+    from repro.analysis import RuleNotFoundError, rule_registry, run_check
+
+    registry = rule_registry()
+    if args.list_rules:
+        for name in sorted(registry):
+            doc = (registry[name].__doc__ or "").strip().splitlines()
+            print(f"{name:22s} {doc[0] if doc else ''}")
+        return 0
+    try:
+        result = run_check(args.paths, rules=args.rule or None)
+    except RuleNotFoundError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in result.findings:
+            print(finding.format())
+        print(f"repro check: {len(result.findings)} finding(s) in "
+              f"{result.module_count} module(s) "
+              f"[rules: {', '.join(result.rules)}]")
+    return 0 if result.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -696,6 +727,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--ao", type=float, default=0.0)
     p_an.add_argument("--timeline", action="store_true")
     p_an.set_defaults(func=_cmd_analyze)
+
+    p_check = sub.add_parser(
+        "check", help="run the AST-based invariant checker "
+                      "(see docs/CHECKS.md)")
+    p_check.add_argument("paths", nargs="*", default=["src"],
+                         help="files or directories to analyze "
+                              "(default: src)")
+    p_check.add_argument("--rule", action="append", metavar="RULE-ID",
+                         help="run only this rule (repeatable; "
+                              "default: all registered)")
+    p_check.add_argument("--format", choices=("text", "json"),
+                         default="text",
+                         help="finding output format (default: text)")
+    p_check.add_argument("--list-rules", action="store_true",
+                         help="list registered rules and exit")
+    p_check.set_defaults(func=_cmd_check)
     return parser
 
 

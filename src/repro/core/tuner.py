@@ -154,6 +154,15 @@ class SearchStats:
             "seed": dict(self.seed) if self.seed else None,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchStats":
+        """Rebuild from :meth:`to_dict` output (manifest resume path)."""
+        known = {f: data[f] for f in cls.__dataclass_fields__ if f in data}
+        seed = known.get("seed")
+        if seed is not None:
+            known["seed"] = dict(seed)
+        return cls(**known)
+
 
 @dataclass
 class _CellCounts:

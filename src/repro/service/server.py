@@ -182,7 +182,9 @@ class TuningService:
                 raise ValueError(f'cell {index} must carry {{"job": ...}}')
             try:
                 job = TuningJob.from_dict(job_dict)
-            except Exception as exc:  # noqa: BLE001 — user input
+            except (KeyError, TypeError, ValueError) as exc:
+                # everything a malformed job dict can raise out of
+                # from_dict (JobValidationError is a ValueError)
                 raise ValueError(f"cell {index}: invalid job: {exc}") \
                     from None
             parsed.append((job, solver))
@@ -381,7 +383,9 @@ class TuningService:
                 solver = payload.get("solver", "mist")
                 try:
                     job = TuningJob.from_dict(job_dict)
-                except Exception as exc:  # noqa: BLE001 — user input
+                except (KeyError, TypeError, ValueError) as exc:
+                    # everything a malformed job dict can raise out of
+                    # from_dict (JobValidationError is a ValueError)
                     raise _HttpError(400, f"invalid job: {exc}") from None
                 try:
                     # submit touches the cache (disk): keep it off the loop

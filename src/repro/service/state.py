@@ -27,6 +27,7 @@ TERMINAL_STATES = ("done", "failed", "cancelled")
 
 
 def _new_job_id() -> str:
+    # repro: allow[determinism] runtime-only handle, never fingerprinted
     return f"job-{uuid.uuid4().hex[:12]}"
 
 
@@ -39,9 +40,15 @@ class JobRecord:
     fingerprint: str
     id: str = field(default_factory=_new_job_id)
     status: str = "queued"
-    submitted_at: float = field(default_factory=time.time)
+    #: wall-clock timestamps, display-only — duration math must use the
+    #: monotonic counterparts below (wall-clock can step under NTP)
+    submitted_at: float = field(default_factory=time.time)  # repro: allow[determinism] display timestamp
     started_at: float | None = None
     finished_at: float | None = None
+    _submitted_monotonic: float = field(default_factory=time.monotonic,
+                                        repr=False)
+    _started_monotonic: float | None = field(default=None, repr=False)
+    _finished_monotonic: float | None = field(default=None, repr=False)
     #: latest (S, G)-cell progress relayed by the solver, if any
     progress: dict | None = None
     error: str | None = None
@@ -58,11 +65,26 @@ class JobRecord:
     def finished(self) -> bool:
         return self.status in TERMINAL_STATES
 
+    @property
+    def wait_seconds(self) -> float | None:
+        """Queue wait measured on the monotonic clock."""
+        if self._started_monotonic is None:
+            return None
+        return self._started_monotonic - self._submitted_monotonic
+
+    @property
+    def duration_seconds(self) -> float | None:
+        """Solve latency measured on the monotonic clock."""
+        if self._started_monotonic is None or self._finished_monotonic is None:
+            return None
+        return self._finished_monotonic - self._started_monotonic
+
     def mark_running(self) -> None:
         with self._lock:
             if self.status == "queued":
                 self.status = "running"
-                self.started_at = time.time()
+                self.started_at = time.time()  # repro: allow[determinism] display timestamp
+                self._started_monotonic = time.monotonic()
 
     def complete(self, report: SolveReport, *,
                  from_cache: bool = False) -> bool:
@@ -72,7 +94,8 @@ class JobRecord:
             self.status = "done"
             self.report = report
             self.from_cache = from_cache
-            self.finished_at = time.time()
+            self.finished_at = time.time()  # repro: allow[determinism] display timestamp
+            self._finished_monotonic = time.monotonic()
             return True
 
     def fail(self, error: str) -> bool:
@@ -81,7 +104,8 @@ class JobRecord:
                 return False
             self.status = "failed"
             self.error = error
-            self.finished_at = time.time()
+            self.finished_at = time.time()  # repro: allow[determinism] display timestamp
+            self._finished_monotonic = time.monotonic()
             return True
 
     def cancel(self) -> bool:
@@ -91,10 +115,11 @@ class JobRecord:
                 return False
             self.cancel_event.set()
             self.status = "cancelled"
-            self.finished_at = time.time()
+            self.finished_at = time.time()  # repro: allow[determinism] display timestamp
+            self._finished_monotonic = time.monotonic()
             return True
 
-    def to_dict(self, *, include_report: bool = True) -> dict:
+    def to_dict(self, *, include_report: bool = True) -> dict:  # repro: allow[serialization] one-way wire snapshot, records are never rebuilt from JSON
         with self._lock:
             out = {
                 "id": self.id,
@@ -104,6 +129,8 @@ class JobRecord:
                 "submitted_at": self.submitted_at,
                 "started_at": self.started_at,
                 "finished_at": self.finished_at,
+                "wait_seconds": self.wait_seconds,
+                "duration_seconds": self.duration_seconds,
                 "from_cache": self.from_cache,
                 "coalesced": self.coalesced,
                 "progress": dict(self.progress) if self.progress else None,
@@ -117,6 +144,7 @@ class JobRecord:
 
 
 def _new_campaign_id() -> str:
+    # repro: allow[determinism] runtime-only handle, never fingerprinted
     return f"camp-{uuid.uuid4().hex[:12]}"
 
 
@@ -134,7 +162,7 @@ class CampaignRecord:
     name: str
     records: list[JobRecord] = field(default_factory=list)
     id: str = field(default_factory=_new_campaign_id)
-    created_at: float = field(default_factory=time.time)
+    created_at: float = field(default_factory=time.time)  # repro: allow[determinism] display timestamp
 
     @property
     def status(self) -> str:
@@ -157,7 +185,7 @@ class CampaignRecord:
             "coalesced": sum(1 for r in self.records if r.coalesced),
         }
 
-    def to_dict(self, *, include_cells: bool = True) -> dict:
+    def to_dict(self, *, include_cells: bool = True) -> dict:  # repro: allow[serialization] one-way wire snapshot, records are never rebuilt from JSON
         out = {
             "id": self.id,
             "name": self.name,
@@ -243,12 +271,13 @@ class ServiceMetrics:
         self._search = dict.fromkeys(self._SEARCH_COUNTERS, 0)
         self._solve_seconds_total = 0.0
         self._solve_count = 0
-        self._started_at = time.time()
+        self._started_at = time.time()  # repro: allow[determinism] display timestamp
+        self._started_monotonic = time.monotonic()
 
     def inc(self, name: str, n: int = 1) -> None:
-        if name not in self._counts:
-            raise KeyError(f"unknown metric {name!r}")
         with self._lock:
+            if name not in self._counts:
+                raise KeyError(f"unknown metric {name!r}")
             self._counts[name] += n
 
     def observe_solve(self, seconds: float) -> None:
@@ -273,9 +302,13 @@ class ServiceMetrics:
             search = dict(self._search)
             total = self._solve_seconds_total
             solves = self._solve_count
-            uptime = time.time() - self._started_at
+            started_at = self._started_at
+            # monotonic math: immune to NTP steps that would skew or
+            # even negate a wall-clock uptime
+            uptime = time.monotonic() - self._started_monotonic
         return {
             "uptime_seconds": uptime,
+            "started_at": started_at,
             "workers": workers,
             "jobs": {
                 "submitted": counts["jobs_submitted"],

@@ -19,7 +19,7 @@ Two evaluation paths are provided:
 from __future__ import annotations
 
 import math
-from typing import Callable, Mapping, Sequence, Union
+from typing import Any, Callable, Mapping, Sequence, Union
 
 import numpy as np
 
@@ -138,7 +138,8 @@ class CompiledExpr:
     """
 
     def __init__(self, func: Callable, arg_names: tuple[str, ...], n_outputs: int,
-                 source: str, used_symbols: frozenset[str] | None = None):
+                 source: str,
+                 used_symbols: frozenset[str] | None = None) -> None:
         self._func = func
         self.arg_names = arg_names
         self.n_outputs = n_outputs
@@ -146,7 +147,7 @@ class CompiledExpr:
         self.used_symbols = (frozenset(arg_names) if used_symbols is None
                              else used_symbols)
 
-    def __call__(self, **env: ArrayLike):
+    def __call__(self, **env: ArrayLike) -> Any:
         missing = [name for name in self.arg_names if name not in env]
         if missing:
             raise EvaluationError(f"missing symbol values: {missing}")

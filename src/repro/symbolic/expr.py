@@ -27,7 +27,7 @@ symbolic comparisons for :class:`Piecewise` conditions.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Mapping, Union
+from typing import Any, Iterable, Mapping, Union
 
 Number = Union[int, float]
 ExprLike = Union["Expr", int, float]
@@ -180,12 +180,12 @@ class Const(Expr):
     __slots__ = ("value",)
     children = ()
 
-    def __init__(self, value: Number):
+    def __init__(self, value: Number) -> None:
         if isinstance(value, float) and value.is_integer() and abs(value) < 2**52:
             value = int(value)
         object.__setattr__(self, "value", value)
 
-    def __setattr__(self, name, value):  # immutability guard
+    def __setattr__(self, name: str, value: Any) -> None:  # immutability guard
         raise AttributeError("Const is immutable")
 
     def _key(self) -> tuple:
@@ -205,14 +205,14 @@ class Sym(Expr):
     __slots__ = ("name", "integer", "positive")
     children = ()
 
-    def __init__(self, name: str, integer: bool = False, positive: bool = True):
+    def __init__(self, name: str, integer: bool = False, positive: bool = True) -> None:
         if not name or not isinstance(name, str):
             raise ValueError("symbol name must be a non-empty string")
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "integer", bool(integer))
         object.__setattr__(self, "positive", bool(positive))
 
-    def __setattr__(self, name, value):
+    def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Sym is immutable")
 
     def _key(self) -> tuple:
@@ -229,10 +229,10 @@ class _NAry(Expr):
 
     IDENTITY: Number = 0
 
-    def __init__(self, children: Iterable[Expr]):
+    def __init__(self, children: Iterable[Expr]) -> None:
         object.__setattr__(self, "children", tuple(children))
 
-    def __setattr__(self, name, value):
+    def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError(f"{type(self).__name__} is immutable")
 
     @classmethod
@@ -269,11 +269,11 @@ class Add(_NAry):
     IDENTITY = 0
 
     @classmethod
-    def _fold(cls, values):
+    def _fold(cls, values: Iterable[Number]) -> Number:
         return sum(values)
 
     @classmethod
-    def _finish(cls, flat, folded):
+    def _finish(cls, flat: list[Expr], folded: Number) -> Expr:
         if not flat:
             return Const(folded)
         if folded != 0:
@@ -293,11 +293,11 @@ class Mul(_NAry):
     IDENTITY = 1
 
     @classmethod
-    def _fold(cls, values):
+    def _fold(cls, values: Iterable[Number]) -> Number:
         return math.prod(values)
 
     @classmethod
-    def _finish(cls, flat, folded):
+    def _finish(cls, flat: list[Expr], folded: Number) -> Expr:
         if folded == 0:
             return Const(0)
         if not flat:
@@ -315,10 +315,10 @@ class Mul(_NAry):
 class _Binary(Expr):
     __slots__ = ("children",)
 
-    def __init__(self, left: Expr, right: Expr):
+    def __init__(self, left: Expr, right: Expr) -> None:
         object.__setattr__(self, "children", (left, right))
 
-    def __setattr__(self, name, value):
+    def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError(f"{type(self).__name__} is immutable")
 
     @property
@@ -424,10 +424,10 @@ class Pow(_Binary):
 class _Unary(Expr):
     __slots__ = ("children",)
 
-    def __init__(self, operand: Expr):
+    def __init__(self, operand: Expr) -> None:
         object.__setattr__(self, "children", (operand,))
 
-    def __setattr__(self, name, value):
+    def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError(f"{type(self).__name__} is immutable")
 
     @property
@@ -493,11 +493,11 @@ class Max(_NAry):
     IDENTITY = -math.inf
 
     @classmethod
-    def _fold(cls, values):
+    def _fold(cls, values: Iterable[Number]) -> Number:
         return max(values)
 
     @classmethod
-    def _finish(cls, flat, folded):
+    def _finish(cls, flat: list[Expr], folded: Number) -> Expr:
         if not flat:
             return Const(folded)
         # Deduplicate structurally identical branches.
@@ -525,11 +525,11 @@ class Min(_NAry):
     IDENTITY = math.inf
 
     @classmethod
-    def _fold(cls, values):
+    def _fold(cls, values: Iterable[Number]) -> Number:
         return min(values)
 
     @classmethod
-    def _finish(cls, flat, folded):
+    def _finish(cls, flat: list[Expr], folded: Number) -> Expr:
         if not flat:
             return Const(folded)
         unique: list[Expr] = []
@@ -566,7 +566,7 @@ class Cmp(_Binary):
 
     __slots__ = ("op",)
 
-    def __init__(self, op: str, left: Expr, right: Expr):
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
         if op not in _CMP_OPS:
             raise ValueError(f"unknown comparison operator {op!r}")
         super().__init__(left, right)
@@ -610,10 +610,10 @@ class Piecewise(Expr):
 
     __slots__ = ("children",)
 
-    def __init__(self, cond: Expr, then: Expr, otherwise: Expr):
+    def __init__(self, cond: Expr, then: Expr, otherwise: Expr) -> None:
         object.__setattr__(self, "children", (cond, then, otherwise))
 
-    def __setattr__(self, name, value):
+    def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Piecewise is immutable")
 
     @classmethod

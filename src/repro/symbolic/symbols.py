@@ -27,7 +27,7 @@ __all__ = ["SymbolManager", "global_symbol_manager"]
 class SymbolManager:
     """Creates named symbols and tracks their concrete default values."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._symbols: dict[str, Sym] = {}
         self._defaults: dict[str, Number] = {}
 
