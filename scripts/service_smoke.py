@@ -29,9 +29,6 @@ Usage: python scripts/service_smoke.py  (from the repo root)
 from __future__ import annotations
 
 import dataclasses
-import os
-import re
-import subprocess
 import sys
 import tempfile
 import time
@@ -41,7 +38,7 @@ ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
 from repro.api import TuningJob  # noqa: E402
-from repro.service import Client  # noqa: E402
+from repro.service import Client, spawn_daemon  # noqa: E402
 
 JOB = TuningJob(model="gpt3-1.3b", gpu="L4", num_gpus=4, global_batch=16,
                 scale="smoke", interference="none")
@@ -56,24 +53,12 @@ CAMPAIGN_JOB = dataclasses.replace(JOB, global_batch=8)
 
 
 def main() -> int:
-    env = dict(os.environ)
-    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + \
-        env.get("PYTHONPATH", "")
     with tempfile.TemporaryDirectory(prefix="repro-smoke-") as cache_dir:
-        daemon = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve", "--port", "0",
-             "--workers", "1", "--cache-dir", cache_dir],
-            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
-            text=True, env=env, cwd=ROOT,
-        )
-        try:
-            banner = daemon.stdout.readline()
-            match = re.search(r"http://[\d.]+:(\d+)", banner)
-            assert match, f"no listen address in banner: {banner!r}"
-            client = Client(match.group(0), timeout=30)
+        with spawn_daemon(workers=1, cache_dir=cache_dir) as daemon:
+            client = Client(daemon.url, timeout=30)
 
             assert client.health()["status"] == "ok"
-            print(f"daemon healthy at {match.group(0)}")
+            print(f"daemon healthy at {daemon.url}")
 
             start = time.perf_counter()
             first = client.solve(JOB, solver="mist", timeout=300)
@@ -148,12 +133,6 @@ def main() -> int:
             assert metrics["campaigns"]["submitted"] == 2, metrics
             print("campaign cache: repeat batch served with no new "
                   "invocation")
-        finally:
-            daemon.terminate()
-            try:
-                daemon.wait(timeout=10)
-            except subprocess.TimeoutExpired:
-                daemon.kill()
     print("service smoke: OK")
     return 0
 

@@ -4,4 +4,8 @@ import sys
 
 from repro.cli import main
 
-sys.exit(main())
+# The guard matters: multiprocessing's spawn start method re-imports the
+# parent's main module in each worker, and an unguarded sys.exit(main())
+# would re-run the CLI inside every service worker process.
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,9 @@ Megatron-LM/DeepSpeed on a mixed fleet.
 from __future__ import annotations
 
 import inspect
+import json
+import os
+import time
 import warnings
 from typing import Any, Callable, ClassVar
 
@@ -35,6 +38,7 @@ from repro.baselines import (
     UniformHeuristicTuner,
 )
 from repro.core import MistTuner
+from repro.core.tuner import SearchCancelled
 from repro.evaluation.runner import calibrated_interference
 from repro.execution import ExecutionEngine, IterationResult, OOMError
 from repro.hardware import ClusterSpec, HeterogeneousCluster
@@ -50,6 +54,7 @@ __all__ = [
     "DeepSpeedSolver",
     "AcesoSolver",
     "UniformSolver",
+    "SyntheticSolver",
     "solve",
 ]
 
@@ -240,6 +245,90 @@ class UniformSolver(_BaselineSolver):
             spec.model, cluster, seq_len=spec.seq_len,
             flash=spec.flash, space=space,
             interference=interference,
+        )
+
+
+@register_solver("synthetic")
+class SyntheticSolver:
+    """Deterministic CPU-burning stand-in workload (no real search).
+
+    Not one of the paper's systems: ``synthetic`` exists for the
+    service load/chaos harness (``repro load``, ``tests/service/``),
+    where tests need a solver whose *service time* is controllable and
+    whose answer is reproducible. Knobs ride
+    ``job.options["synthetic"]``:
+
+    * ``seconds`` (float, default ``0.05``) — how long to busy-spin.
+      The spin is pure Python bytecode, so thread-based worker tiers
+      serialize on the GIL while process tiers scale with cores —
+      exactly the contrast the load generator measures;
+    * ``throughput`` (float, default ``100.0``) — the reported
+      "measured" throughput;
+    * ``die_file`` (path) — chaos hook: if the named file exists when
+      the solve starts, the process hard-exits (``os._exit``), which
+      looks exactly like a ``kill -9`` to a process worker tier. The
+      flag lives *outside* the job (the fingerprint is unchanged), so
+      deleting the file and resubmitting — or resuming a campaign —
+      the very same job succeeds.
+
+    Knob *defaults* may also be injected through the
+    ``REPRO_SYNTHETIC_DEFAULTS`` environment variable (a JSON object,
+    overridden by per-job options). Campaign cells carry no free-form
+    options, so this is how the chaos tests arm ``die_file`` for jobs
+    born from a :class:`~repro.campaigns.spec.CampaignSpec`; worker
+    processes inherit the daemon's environment.
+
+    ``progress`` is reported as 0/1 -> 1/1 and ``should_stop`` is
+    polled every few thousand spins (raising
+    :class:`~repro.core.tuner.SearchCancelled`), so cancellation
+    behaves like the real tuner's cell-boundary checks. The report is
+    deterministic for a given job: the nominal (not measured) spin
+    duration is recorded as the tuning time.
+    """
+
+    #: set by :func:`repro.api.registry.register_solver`
+    solver_name: ClassVar[str]
+
+    def solve(self, job: TuningJob, *,
+              progress: "Callable[[int, int], None] | None" = None,
+              should_stop: "Callable[[], bool] | None" = None
+              ) -> SolveReport:
+        knobs = job.options.get("synthetic", {})
+        if not isinstance(knobs, dict):
+            knobs = {}
+        env = os.environ.get("REPRO_SYNTHETIC_DEFAULTS")
+        if env:
+            try:
+                defaults = json.loads(env)
+            except json.JSONDecodeError:
+                defaults = None
+            if isinstance(defaults, dict):
+                knobs = {**defaults, **knobs}
+        seconds = float(knobs.get("seconds", 0.05))
+        throughput = float(knobs.get("throughput", 100.0))
+        die_file = knobs.get("die_file")
+        if die_file is not None and os.path.exists(str(die_file)):
+            os._exit(3)
+        if progress is not None:
+            progress(0, 1)
+        deadline = time.perf_counter() + seconds
+        spins = 0
+        while time.perf_counter() < deadline:
+            spins += 1
+            if spins % 4096 == 0 and should_stop is not None \
+                    and should_stop():
+                raise SearchCancelled("synthetic solve cancelled")
+        if progress is not None:
+            progress(1, 1)
+        return SolveReport(
+            solver=self.solver_name,
+            job=job,
+            plan=None,
+            measured={"throughput": throughput,
+                      "iteration_time": 1.0 / throughput},
+            tuning_time_seconds=seconds,
+            configurations_evaluated=1,
+            extra={"synthetic": True},
         )
 
 

@@ -18,8 +18,13 @@ Commands:
 * ``cluster``  — inspect/validate a cluster description file: device
   groups, per-GPU memory budgets, link bandwidths.
 * ``serve``    — start the tuning-as-a-service HTTP daemon (job
-  submission, request coalescing, shared plan cache; see
+  submission, request coalescing, shared plan cache, thread- or
+  process-backed solver workers, admission control; see
   ``docs/SERVICE.md``).
+* ``load``     — replay a synthetic campaign-cell trace against a
+  daemon (closed- or open-loop), write the schema'd ``repro-load/1``
+  report, and gate error rates + p99 latency against a committed
+  baseline (see ``docs/SERVICE.md``).
 * ``bench``    — run the perf-benchmark suite at a chosen scale, write
   the schema'd ``BENCH_4.json`` snapshot, and gate the pruned search
   against the exhaustive reference and (optionally) a committed
@@ -514,9 +519,76 @@ def _cmd_serve(args) -> int:
     # PlanCache(None) resolves to $REPRO_PLAN_CACHE / ~/.cache/repro/plans
     service = TuningService(host=args.host, port=args.port,
                             workers=args.workers,
+                            worker_mode=args.worker_mode,
+                            max_pending=args.max_pending,
+                            quota=args.quota,
+                            worker_retries=args.worker_retries,
                             cache=PlanCache(args.cache_dir))
     service.serve_forever()
     return 0
+
+
+def _cmd_load(args) -> int:
+    # imported here: the load harness is only needed by this command
+    import dataclasses as _dc
+    import tempfile
+
+    from repro.loadgen import (TRACE_SCALES, format_load, run_load,
+                               synthesize_trace)
+    from repro.loadgen.report import main_check as load_check
+
+    spec = TRACE_SCALES[args.scale]
+    overrides = {}
+    if args.requests is not None:
+        overrides["requests"] = args.requests
+    if args.unique_jobs is not None:
+        overrides["unique_jobs"] = args.unique_jobs
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        spec = _dc.replace(spec, **overrides)
+    trace = synthesize_trace(spec)
+    if args.url:
+        result = run_load(args.url, spec, trace, mode=args.mode,
+                          concurrency=args.concurrency,
+                          timeout=args.timeout)
+    elif args.spawn:
+        from repro.service.launch import spawn_daemon
+
+        extra = []
+        if args.spawn_max_pending:
+            extra += ["--max-pending", str(args.spawn_max_pending)]
+        # throwaway cache: measured latencies must come from this run,
+        # not a previously warmed user-level plan cache
+        with tempfile.TemporaryDirectory(prefix="repro-load-") as cache_dir:
+            with spawn_daemon(workers=args.spawn_workers,
+                              worker_mode=args.spawn_worker_mode,
+                              cache_dir=cache_dir,
+                              extra_args=extra) as daemon:
+                print(f"spawned daemon at {daemon.url} "
+                      f"({args.spawn_workers} {args.spawn_worker_mode} "
+                      f"workers)")
+                result = run_load(daemon.url, spec, trace, mode=args.mode,
+                                  concurrency=args.concurrency,
+                                  timeout=args.timeout)
+    else:
+        print("error: need --url URL or --spawn", file=sys.stderr)
+        return 2
+    print(format_load(result))
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, sort_keys=True, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read baseline {args.baseline}: {exc}")
+            return 2
+    return load_check(result, baseline,
+                      max_regression=args.max_regression)
 
 
 def _cmd_analyze(args) -> int:
@@ -707,12 +779,76 @@ def build_parser() -> argparse.ArgumentParser:
                          help="listen port (0 = ephemeral; the chosen "
                               "port is printed on startup)")
     p_serve.add_argument("--workers", type=int, default=2,
-                         help="solver worker threads (bounded pool)")
+                         help="solver workers (threads or processes, "
+                              "per --worker-mode)")
+    p_serve.add_argument("--worker-mode", choices=("thread", "process"),
+                         default="thread",
+                         help="run searches on pool threads (GIL-bound) "
+                              "or fingerprint-routed worker processes "
+                              "(default: thread)")
+    p_serve.add_argument("--max-pending", type=int, default=0,
+                         help="admission control: max concurrently "
+                              "pending searches before new submissions "
+                              "get 429 (default: 0 = unbounded)")
+    p_serve.add_argument("--quota", type=int, default=0,
+                         help="admission control: max unresolved jobs "
+                              "per client (X-Repro-Client header; "
+                              "default: 0 = unlimited)")
+    p_serve.add_argument("--worker-retries", type=int, default=1,
+                         help="process mode: retries after a worker "
+                              "process dies mid-search (default: 1)")
     p_serve.add_argument("--cache-dir", metavar="DIR", default=None,
                          help="shared plan-cache directory "
                               "(default: $REPRO_PLAN_CACHE or "
                               "~/.cache/repro/plans)")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "load", help="trace-driven load generator against a daemon, "
+                     "emits a repro-load/1 report")
+    p_load.add_argument("--scale", default="smoke",
+                        choices=("smoke", "quick", "synthetic", "soak"),
+                        help="trace preset (default: smoke)")
+    p_load.add_argument("--url", default=None,
+                        help="target a running daemon at this base URL")
+    p_load.add_argument("--spawn", action="store_true",
+                        help="spawn a throwaway `repro serve` subprocess "
+                             "(ephemeral port, temp plan cache) and "
+                             "target it")
+    p_load.add_argument("--spawn-workers", type=int, default=2,
+                        help="workers for the spawned daemon "
+                             "(default: 2)")
+    p_load.add_argument("--spawn-worker-mode",
+                        choices=("thread", "process"), default="thread",
+                        help="worker mode for the spawned daemon "
+                             "(default: thread)")
+    p_load.add_argument("--spawn-max-pending", type=int, default=0,
+                        help="admission bound for the spawned daemon "
+                             "(default: 0 = unbounded)")
+    p_load.add_argument("--mode", choices=("closed", "open"),
+                        default="closed",
+                        help="closed loop (throughput) or open loop "
+                             "(latency at the trace's arrival rate)")
+    p_load.add_argument("--concurrency", type=int, default=4,
+                        help="closed-loop virtual clients (default: 4)")
+    p_load.add_argument("--requests", type=int, default=None,
+                        help="override the preset's request count")
+    p_load.add_argument("--unique-jobs", type=int, default=None,
+                        help="override the preset's distinct-cell count")
+    p_load.add_argument("--seed", type=int, default=None,
+                        help="override the preset's trace seed")
+    p_load.add_argument("--timeout", type=float, default=120.0,
+                        help="per-request completion timeout in seconds "
+                             "(default: 120)")
+    p_load.add_argument("--out", metavar="FILE", default="LOAD_7.json",
+                        help="report output path (default: LOAD_7.json)")
+    p_load.add_argument("--baseline", metavar="FILE", default=None,
+                        help="committed baseline report to gate p99 "
+                             "latency against")
+    p_load.add_argument("--max-regression", type=float, default=0.5,
+                        help="tolerated fractional p99 regression vs "
+                             "the baseline (default: 0.5)")
+    p_load.set_defaults(func=_cmd_load)
 
     p_an = sub.add_parser("analyze",
                           help="execute one explicit configuration")

@@ -34,22 +34,32 @@ In-process use (tests, notebooks) needs no subprocess::
 """
 
 from .client import Client, ServiceError
+from .launch import SpawnedDaemon, running_service, spawn_daemon
 from .server import (
+    AdmissionError,
     ServiceHandle,
     TuningService,
     UnknownCampaignError,
     UnknownJobError,
 )
 from .state import CampaignRecord, JobRecord, ServiceMetrics
+from .workers import ProcessWorkerTier, ThreadWorkerTier, WorkerDiedError
 
 __all__ = [
+    "AdmissionError",
     "CampaignRecord",
     "Client",
     "JobRecord",
+    "ProcessWorkerTier",
     "ServiceError",
     "ServiceHandle",
     "ServiceMetrics",
+    "SpawnedDaemon",
+    "ThreadWorkerTier",
     "TuningService",
     "UnknownCampaignError",
     "UnknownJobError",
+    "WorkerDiedError",
+    "running_service",
+    "spawn_daemon",
 ]

@@ -26,28 +26,44 @@ __all__ = ["Client", "ServiceError"]
 
 
 class ServiceError(RuntimeError):
-    """The daemon answered with an error (HTTP >= 400) or a failed job."""
+    """The daemon answered with an error (HTTP >= 400) or a failed job.
+
+    On a ``429 Too Many Requests`` rejection, :attr:`retry_after`
+    carries the daemon's backoff hint in seconds (from the
+    ``Retry-After`` header / ``retry_after`` payload field).
+    """
 
     def __init__(self, message: str, *, status: int | None = None,
-                 payload: dict | None = None):
+                 payload: dict | None = None,
+                 retry_after: int | None = None):
         super().__init__(message)
         self.status = status
         self.payload = payload or {}
+        self.retry_after = retry_after
 
 
 class Client:
-    """Thin blocking wrapper over the service's JSON endpoints."""
+    """Thin blocking wrapper over the service's JSON endpoints.
 
-    def __init__(self, base_url: str, *, timeout: float = 30.0):
+    ``client_id`` (sent as the ``X-Repro-Client`` header) identifies
+    this caller to the daemon's per-client admission quotas; without
+    it, requests count against the shared anonymous budget.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0,
+                 client_id: str | None = None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.client_id = client_id
 
     def _request(self, method: str, path: str,
                  payload: dict | None = None) -> dict:
         data = json.dumps(payload).encode() if payload is not None else None
+        headers = {"Content-Type": "application/json"}
+        if self.client_id:
+            headers["X-Repro-Client"] = self.client_id
         request = urllib.request.Request(
-            self.base_url + path, data=data, method=method,
-            headers={"Content-Type": "application/json"},
+            self.base_url + path, data=data, method=method, headers=headers,
         )
         try:
             with urllib.request.urlopen(request,
@@ -58,9 +74,17 @@ class Client:
                 body = json.loads(exc.read().decode())
             except (ValueError, UnicodeDecodeError):
                 body = {}
+            retry_after = body.get("retry_after")
+            if retry_after is None:
+                header = exc.headers.get("Retry-After") if exc.headers \
+                    else None
+                try:
+                    retry_after = int(header) if header else None
+                except ValueError:
+                    retry_after = None
             raise ServiceError(
                 body.get("error", f"HTTP {exc.code}"),
-                status=exc.code, payload=body,
+                status=exc.code, payload=body, retry_after=retry_after,
             ) from None
         except urllib.error.URLError as exc:
             raise ServiceError(

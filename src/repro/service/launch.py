@@ -1,0 +1,167 @@
+"""One place that knows how to start a daemon for tests and tooling.
+
+Two flavors, both on ephemeral ports:
+
+* :func:`running_service` — in-thread :class:`TuningService` via
+  :meth:`~TuningService.run_in_thread` plus a bound :class:`Client`.
+  The default for tests and notebooks (microsecond startup, same
+  process, stub solvers visible).
+* :func:`spawn_daemon` — a *real* ``python -m repro serve`` subprocess:
+  banner parse for the listen address, ``/healthz`` wait, terminate /
+  kill on exit. This is the boilerplate ``scripts/service_smoke.py``
+  and ``tests/service/conftest.py`` used to duplicate; the load
+  harness (``repro load --spawn``) and the CI smoke jobs ride it too.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .client import Client, ServiceError
+from .server import TuningService
+
+__all__ = ["SpawnedDaemon", "daemon_command", "running_service",
+           "spawn_daemon"]
+
+_URL_RE = re.compile(r"http://[\d.]+:\d+")
+
+
+def daemon_command(*, workers: int = 1, worker_mode: str = "thread",
+                   cache_dir: "str | None" = None,
+                   host: str = "127.0.0.1",
+                   extra_args: "tuple | list" = ()) -> list:
+    """The ``repro serve`` argv for a throwaway ephemeral-port daemon."""
+    cmd = [sys.executable, "-m", "repro", "serve", "--host", host,
+           "--port", "0", "--workers", str(workers),
+           "--worker-mode", worker_mode]
+    if cache_dir is not None:
+        cmd += ["--cache-dir", str(cache_dir)]
+    return cmd + list(extra_args)
+
+
+@dataclass
+class SpawnedDaemon:
+    """A live ``repro serve`` subprocess and where it listens."""
+
+    url: str
+    process: subprocess.Popen
+    #: most recent daemon output lines (banner excluded), for diagnostics
+    output: deque = field(default_factory=lambda: deque(maxlen=200))
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self.process.terminate()
+        try:
+            self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait(timeout=timeout)
+
+
+def _drain(stream, sink: deque) -> None:
+    """Background reader: keep the daemon's stdout pipe from filling."""
+    for line in stream:
+        sink.append(line.rstrip("\n"))
+
+
+@contextmanager
+def spawn_daemon(*, workers: int = 1, worker_mode: str = "thread",
+                 cache_dir: "str | None" = None,
+                 extra_args: "tuple | list" = (),
+                 startup_timeout: float = 120.0):
+    """Run ``repro serve`` as a real subprocess; yield a SpawnedDaemon.
+
+    ``PYTHONPATH`` is pointed at this package's source tree so the
+    subprocess resolves the same ``repro`` the caller imported (no
+    install required). The banner is printed only after the port is
+    bound and the worker tier is warm, so the yielded daemon is ready
+    for latency-sensitive measurement immediately.
+    """
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        daemon_command(workers=workers, worker_mode=worker_mode,
+                       cache_dir=cache_dir, extra_args=extra_args),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+    daemon = None
+    drain = None
+    try:
+        assert process.stdout is not None
+        deadline = time.monotonic() + startup_timeout
+        url = None
+        while url is None:
+            line = process.stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    "daemon exited before printing its listen address "
+                    f"(exit code {process.poll()})")
+            match = _URL_RE.search(line)
+            if match:
+                url = match.group(0)
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"daemon did not start within {startup_timeout:.0f}s")
+        daemon = SpawnedDaemon(url=url, process=process)
+        drain = threading.Thread(target=_drain,
+                                 args=(process.stdout, daemon.output),
+                                 daemon=True)
+        drain.start()
+        client = Client(url, timeout=10.0)
+        while True:
+            try:
+                if client.health().get("status") == "ok":
+                    break
+            except ServiceError:
+                pass
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"daemon at {url} never became healthy; recent "
+                    f"output: {list(daemon.output)[-5:]}")
+            time.sleep(0.05)
+        yield daemon
+    finally:
+        if daemon is not None:
+            daemon.stop()
+        else:
+            process.kill()
+            process.wait(timeout=10.0)
+        if drain is not None:
+            # Closing stdout while the drain thread is mid-read would
+            # deadlock on the stream's internal lock. The thread exits
+            # at pipe EOF; if a leaked grandchild still holds the write
+            # end open, leave the (daemonic) thread and fd behind
+            # rather than hang.
+            drain.join(timeout=5.0)
+        if process.stdout is not None and (drain is None
+                                           or not drain.is_alive()):
+            process.stdout.close()
+
+
+@contextmanager
+def running_service(*, workers: int = 2, cache=None,
+                    client_timeout: float = 10.0, client_id=None,
+                    **service_kwargs):
+    """In-thread daemon + bound client (tests, notebooks, examples).
+
+    Yields ``(service, client)``; the daemon is stopped on exit.
+    Extra keyword arguments go straight to :class:`TuningService`
+    (``worker_mode=``, ``max_pending=``, ``quota=``, ...).
+    """
+    service = TuningService(workers=workers, cache=cache, **service_kwargs)
+    handle = service.run_in_thread()
+    try:
+        yield service, Client(handle.url, timeout=client_timeout,
+                              client_id=client_id)
+    finally:
+        handle.stop()

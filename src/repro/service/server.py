@@ -1,19 +1,22 @@
-"""The ``repro serve`` daemon: asyncio HTTP front, threaded solver pool.
+"""The ``repro serve`` daemon: asyncio HTTP front, tiered solver workers.
 
 Architecture — one event loop, one bounded
-:class:`~concurrent.futures.ThreadPoolExecutor`:
+:class:`~concurrent.futures.ThreadPoolExecutor` of *flight
+supervisors*, and a pluggable worker tier (``repro.service.workers``):
 
 * the loop accepts connections and parses/serializes JSON; nothing on
   it ever runs a solver;
 * submissions are keyed by ``(solver, TuningJob.fingerprint())``;
   a cache hit completes immediately, an identical in-flight key
-  coalesces onto the running search, anything else is handed to the
-  pool;
-* workers call :func:`repro.api.solve` with the shared
-  :class:`~repro.api.cache.PlanCache` plus the ``progress`` /
-  ``should_stop`` hooks, so ``GET /jobs/<id>`` shows live (S, G)
-  progress and ``POST /jobs/<id>/cancel`` lands at the next cell
-  boundary.
+  coalesces onto the running search, anything else must pass
+  *admission control* (bounded pending queue + per-client quotas; a
+  rejection is ``429 Too Many Requests`` with a ``Retry-After`` hint)
+  before a supervisor thread hands it to the worker tier;
+* ``worker_mode="thread"`` runs the search on the supervisor thread
+  itself via :func:`repro.api.solve` (full ``progress`` /
+  ``should_stop`` hook fidelity); ``worker_mode="process"`` routes it
+  to a fingerprint-pinned worker *process* so searches use real cores
+  — both share the same on-disk :class:`~repro.api.cache.PlanCache`.
 
 Only the stdlib is used: the HTTP layer is a minimal HTTP/1.1
 request/response exchange over :func:`asyncio.start_server`
@@ -23,7 +26,10 @@ request/response exchange over :func:`asyncio.start_server`
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
+import math
+import signal
 import sys
 import threading
 import time
@@ -38,9 +44,24 @@ from repro.api.registry import solver_names
 from repro.core.tuner import SearchCancelled
 
 from .state import CampaignRecord, InFlight, JobRecord, ServiceMetrics
+from .workers import make_tier
 
-__all__ = ["ServiceHandle", "TuningService", "UnknownCampaignError",
-           "UnknownJobError"]
+__all__ = ["AdmissionError", "ServiceHandle", "TuningService",
+           "UnknownCampaignError", "UnknownJobError"]
+
+
+class AdmissionError(RuntimeError):
+    """The daemon refused a submission (full queue or client quota).
+
+    Maps to ``429 Too Many Requests`` on the wire; ``retry_after`` is
+    the server's backoff hint in whole seconds (also sent as the
+    ``Retry-After`` header).
+    """
+
+    def __init__(self, message: str, *, reason: str, retry_after: int):
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after = retry_after
 
 
 class UnknownJobError(KeyError):
@@ -63,14 +84,20 @@ _MAX_BODY_BYTES = 8 * 2**20  # a TuningJob is KBs; reject absurd bodies
 _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
             404: "Not Found", 405: "Method Not Allowed",
             409: "Conflict", 413: "Payload Too Large",
-            500: "Internal Server Error"}
+            429: "Too Many Requests", 500: "Internal Server Error"}
 
 
 class _HttpError(Exception):
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str, *,
+                 headers: dict | None = None,
+                 extra: dict | None = None):
         super().__init__(message)
         self.status = status
         self.message = message
+        #: extra response headers (e.g. ``Retry-After`` on a 429)
+        self.headers = headers or {}
+        #: extra JSON payload fields alongside ``{"error": ...}``
+        self.extra = extra or {}
 
 
 @dataclass
@@ -101,20 +128,40 @@ class TuningService:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  workers: int = 2, cache: PlanCache | None = None,
-                 solve_fn=None):
+                 solve_fn=None, worker_mode: str = "thread",
+                 max_pending: int = 0, quota: int = 0,
+                 worker_retries: int = 1):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if max_pending < 0:
+            raise ValueError("max_pending must be >= 0 (0 = unbounded)")
+        if quota < 0:
+            raise ValueError("quota must be >= 0 (0 = unlimited)")
         self.host = host
         self.port = port
         self.workers = workers
+        self.worker_mode = worker_mode
+        #: admission control: max concurrently *pending* searches
+        #: (distinct in-flight fingerprints); 0 disables the bound
+        self.max_pending = max_pending
+        #: admission control: max unresolved jobs per client; 0 = off
+        self.quota = quota
         self.cache = cache if cache is not None else PlanCache()
         self.metrics = ServiceMetrics()
         self._solve = solve_fn if solve_fn is not None else solve
+        self._tier = make_tier(worker_mode, workers, solve_fn=solve_fn,
+                               retries=worker_retries)
         self._jobs: dict[str, JobRecord] = {}
         self._campaigns: dict[str, CampaignRecord] = {}
         self._inflight: dict[tuple[str, str], InFlight] = {}
+        #: unresolved-job count per client id (quota bookkeeping)
+        self._clients: dict[str, int] = {}
         self._lock = threading.Lock()
-        self._pool = ThreadPoolExecutor(max_workers=workers,
+        # in process mode the supervisor threads merely await worker
+        # futures, so more of them than routed processes keeps slots
+        # busy while others block on IPC
+        supervisors = workers if worker_mode == "thread" else workers * 4
+        self._pool = ThreadPoolExecutor(max_workers=supervisors,
                                         thread_name_prefix="repro-solve")
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop_event: asyncio.Event | None = None
@@ -122,12 +169,23 @@ class TuningService:
 
     # -- job lifecycle (thread-safe, usable without HTTP) ------------------
 
-    def submit(self, job: TuningJob, solver: str = "mist") -> JobRecord:
-        """Register a job: cache hit, coalesce, or start a search."""
+    def submit(self, job: TuningJob, solver: str = "mist", *,
+               client: str = "", preadmitted: bool = False) -> JobRecord:
+        """Register a job: cache hit, coalesce, or start a search.
+
+        ``client`` is the submitter's id (the HTTP front passes the
+        ``X-Repro-Client`` header) and feeds the per-client quota
+        ledger. Raises :class:`AdmissionError` when the pending queue
+        is full (new searches only — cache hits and coalescing add no
+        load) or the client is over quota. ``preadmitted=True`` skips
+        those checks: :meth:`submit_campaign` admits its whole batch
+        up front instead of failing halfway through.
+        """
         if solver not in solver_names():
             raise SolverNotFoundError(solver)
         fingerprint = job.fingerprint()
-        record = JobRecord(job=job, solver=solver, fingerprint=fingerprint)
+        record = JobRecord(job=job, solver=solver, fingerprint=fingerprint,
+                           client=client)
         key = (solver, fingerprint)
         with self._lock:
             # the cache read must happen under the same lock as the
@@ -138,15 +196,22 @@ class TuningService:
             # (coalesce) or the already-stored entry (hit), never
             # neither. Keep that store-before-detach order.
             hit = self.cache.load(job, solver)
-            self.metrics.inc("jobs_submitted")
-            self._jobs[record.id] = record
             if hit is not None:
+                self.metrics.inc("jobs_submitted")
+                self._jobs[record.id] = record
                 record.complete(hit, from_cache=True)
                 self.metrics.inc("cache_hits")
                 self.metrics.inc("jobs_completed")
                 return record
-            self.metrics.inc("cache_misses")
             flight = self._inflight.get(key)
+            if not preadmitted:
+                self._admit_locked(client, new_flight=flight is None)
+            self.metrics.inc("jobs_submitted")
+            self.metrics.inc("cache_misses")
+            self._jobs[record.id] = record
+            # the record holds one quota slot until it goes terminal
+            record.counted = True
+            self._clients[client] = self._clients.get(client, 0) + 1
             if flight is not None:
                 flight.attach(record)
                 record.coalesced = True
@@ -157,8 +222,86 @@ class TuningService:
             self._pool.submit(self._run_flight, flight, job, solver)
         return record
 
-    def submit_campaign(self, cells: list, name: str = "campaign",
-                        ) -> CampaignRecord:
+    def _admit_locked(self, client: str, *, new_flight: bool) -> None:
+        """Admission checks; the caller holds ``self._lock``.
+
+        Coalescing submissions (``new_flight=False``) bypass the
+        queue-depth bound — they attach to a search that is already
+        paid for — but still consume client quota.
+        """
+        if self.quota > 0:
+            held = self._clients.get(client, 0)  # repro: allow[lock-discipline] caller holds self._lock
+            if held >= self.quota:
+                self.metrics.inc("rejected_quota")
+                raise AdmissionError(
+                    f"client {client or 'anonymous'!r} already holds "
+                    f"{held} unresolved job(s) (quota {self.quota})",
+                    reason="quota", retry_after=self._retry_after_locked())
+        if new_flight and self.max_pending > 0:
+            depth = len(self._inflight)  # repro: allow[lock-discipline] caller holds self._lock
+            if depth >= self.max_pending:
+                self.metrics.inc("rejected_queue")
+                raise AdmissionError(
+                    f"pending queue is full ({depth}/{self.max_pending} "
+                    f"searches in flight)",
+                    reason="queue", retry_after=self._retry_after_locked())
+
+    def _admit_batch_locked(self, cells: int, client: str) -> None:
+        """Worst-case batch admission; the caller holds ``self._lock``.
+
+        Assumes every cell misses the cache and starts its own search
+        — a conservative bound (hits and coalesces consume less), so a
+        campaign either fits entirely or is rejected as one unit
+        before any cell is submitted.
+        """
+        if self.quota > 0:
+            held = self._clients.get(client, 0)  # repro: allow[lock-discipline] caller holds self._lock
+            if held + cells > self.quota:
+                self.metrics.inc("rejected_quota")
+                raise AdmissionError(
+                    f"campaign of {cells} cell(s) would put client "
+                    f"{client or 'anonymous'!r} over quota "
+                    f"({held} held, quota {self.quota})",
+                    reason="quota", retry_after=self._retry_after_locked())
+        if self.max_pending > 0:
+            depth = len(self._inflight)  # repro: allow[lock-discipline] caller holds self._lock
+            if depth + cells > self.max_pending:
+                self.metrics.inc("rejected_queue")
+                raise AdmissionError(
+                    f"campaign of {cells} cell(s) would overflow the "
+                    f"pending queue ({depth}/{self.max_pending} in flight)",
+                    reason="queue", retry_after=self._retry_after_locked())
+
+    def _retry_after_locked(self) -> int:
+        """Backoff hint in seconds: expected queue drain time.
+
+        Average solve wall-time times queue depth over worker count,
+        clamped to [1, 60]; 1 before the first solve finishes.
+        """
+        depth = len(self._inflight)  # repro: allow[lock-discipline] caller holds self._lock
+        estimate = (self.metrics.avg_solve_seconds() * max(1, depth)
+                    / max(1, self.workers))
+        return int(max(1, min(60, math.ceil(estimate))))
+
+    def _release_client(self, record: JobRecord) -> None:
+        """Return the record's quota slot (exactly once per record).
+
+        Callers invoke this only on the winning terminal transition —
+        the one ``complete()`` / ``fail()`` / ``cancel()`` call that
+        returned True — so a record can never release twice.
+        """
+        if not record.counted:
+            return
+        record.counted = False
+        with self._lock:
+            held = self._clients.get(record.client, 0)
+            if held <= 1:
+                self._clients.pop(record.client, None)
+            else:
+                self._clients[record.client] = held - 1
+
+    def submit_campaign(self, cells: list, name: str = "campaign", *,
+                        client: str = "") -> CampaignRecord:
         """Register a batch of ``{"job": ..., "solver": ...}`` cells.
 
         Every cell is validated *before* any is submitted, so a bad
@@ -188,7 +331,13 @@ class TuningService:
                 raise ValueError(f"cell {index}: invalid job: {exc}") \
                     from None
             parsed.append((job, solver))
-        records = [self.submit(job, solver) for job, solver in parsed]
+        # admit the whole batch up front (worst case: every cell is a
+        # fresh search), then submit cells with checks already passed —
+        # a campaign never dies halfway through on a 429
+        with self._lock:
+            self._admit_batch_locked(len(parsed), client)
+        records = [self.submit(job, solver, client=client, preadmitted=True)
+                   for job, solver in parsed]
         campaign = CampaignRecord(name=str(name), records=records)
         with self._lock:
             self._campaigns[campaign.id] = campaign
@@ -214,7 +363,12 @@ class TuningService:
         record = self.get_job(job_id)
         if record.cancel():
             self.metrics.inc("jobs_cancelled")
+            self._release_client(record)
         return record
+
+    def worker_pids(self) -> list:
+        """Routed worker-process pids (empty list in thread mode)."""
+        return self._tier.worker_pids()
 
     def _run_flight(self, flight: InFlight, job: TuningJob,
                     solver: str) -> None:
@@ -231,8 +385,9 @@ class TuningService:
 
         start = time.perf_counter()
         try:
-            report = self._solve(job, solver, cache=self.cache,
-                                 progress=progress, should_stop=should_stop)
+            report = self._tier.run(job, solver, cache=self.cache,
+                                    progress=progress,
+                                    should_stop=should_stop)
         except SearchCancelled:
             self.metrics.inc("solver_invocations")
             self._finish_flight(flight)
@@ -241,6 +396,9 @@ class TuningService:
             for record in flight.records():
                 if record.fail("search cancelled before completion"):
                     self.metrics.inc("jobs_failed")
+                    self._release_client(record)
+                self.metrics.observe_job(record.wait_seconds,
+                                         record.duration_seconds)
         except Exception as exc:  # noqa: BLE001 — daemon must not die
             self.metrics.inc("solver_invocations")
             self._finish_flight(flight)
@@ -248,6 +406,9 @@ class TuningService:
             for record in flight.records():
                 if record.fail(error):
                     self.metrics.inc("jobs_failed")
+                    self._release_client(record)
+                self.metrics.observe_job(record.wait_seconds,
+                                         record.duration_seconds)
         else:
             # from_cache means another process stored the answer while
             # this flight raced it — no search ran here, so the ledger
@@ -264,6 +425,9 @@ class TuningService:
             for record in flight.records():
                 if record.complete(report, from_cache=report.from_cache):
                     self.metrics.inc("jobs_completed")
+                    self._release_client(record)
+                self.metrics.observe_job(record.wait_seconds,
+                                         record.duration_seconds)
 
     def _metrics_body(self) -> dict:
         with self._lock:
@@ -272,7 +436,9 @@ class TuningService:
             campaigns_tracked = len(self._campaigns)
         return self.metrics.snapshot(
             in_flight=in_flight, tracked=tracked, workers=self.workers,
-            campaigns_tracked=campaigns_tracked)
+            campaigns_tracked=campaigns_tracked,
+            worker_tier=self._tier.stats(),
+            max_pending=self.max_pending, quota=self.quota)
 
     def _jobs_body(self) -> dict:
         with self._lock:
@@ -302,11 +468,15 @@ class TuningService:
     async def _handle_conn(self, reader: asyncio.StreamReader,
                            writer: asyncio.StreamWriter) -> None:
         status, payload = 500, {"error": "internal error"}
+        extra_headers: dict = {}
         try:
-            method, path, body = await self._read_request(reader)
-            status, payload = await self._dispatch(method, path, body)
+            method, path, headers, body = await self._read_request(reader)
+            status, payload = await self._dispatch(method, path, headers,
+                                                   body)
         except _HttpError as exc:
-            status, payload = exc.status, {"error": exc.message}
+            status = exc.status
+            payload = {"error": exc.message, **exc.extra}
+            extra_headers = exc.headers
         except (asyncio.IncompleteReadError, ConnectionError):
             writer.close()
             return
@@ -317,8 +487,11 @@ class TuningService:
                   file=sys.stderr, flush=True)
             status, payload = 500, {"error": "internal server error"}
         data = json.dumps(payload, sort_keys=True).encode()
+        extra = "".join(f"{name}: {value}\r\n"
+                        for name, value in extra_headers.items())
         head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
                 f"Content-Type: application/json\r\n"
+                f"{extra}"
                 f"Content-Length: {len(data)}\r\n"
                 f"Connection: close\r\n\r\n").encode()
         try:
@@ -330,36 +503,37 @@ class TuningService:
             writer.close()
 
     @staticmethod
-    async def _read_request(reader) -> tuple[str, str, bytes]:
+    async def _read_request(reader) -> tuple[str, str, dict, bytes]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         parts = request_line.split()
         if len(parts) != 3:
             raise _HttpError(400, f"malformed request line {request_line!r}")
         method, path, _version = parts
-        content_length = 0
+        headers: dict[str, str] = {}
         while True:
             line = (await reader.readline()).decode("latin-1").strip()
             if not line:
                 break
             name, _, value = line.partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    content_length = int(value.strip())
-                except ValueError:
-                    raise _HttpError(400, "bad Content-Length") from None
+            headers[name.strip().lower()] = value.strip()
+        try:
+            content_length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length") from None
         if content_length < 0:
             raise _HttpError(400, "bad Content-Length")
         if content_length > _MAX_BODY_BYTES:
             raise _HttpError(413, "request body too large")
         body = (await reader.readexactly(content_length)
                 if content_length else b"")
-        return method, path, body
+        return method, path, headers, body
 
-    async def _dispatch(self, method: str, path: str,
+    async def _dispatch(self, method: str, path: str, headers: dict,
                         body: bytes) -> tuple[int, dict]:
         split = urlsplit(path)
         segments = [s for s in split.path.split("/") if s]
         query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        client = headers.get("x-repro-client", "")
         loop = asyncio.get_running_loop()
 
         if segments == ["healthz"] and method == "GET":
@@ -368,6 +542,9 @@ class TuningService:
                 "version": __version__,
                 "solvers": list(solver_names()),
                 "workers": self.workers,
+                "worker_mode": self.worker_mode,
+                "max_pending": self.max_pending,
+                "quota": self.quota,
                 "cache_dir": str(self.cache.root),
             }
         if segments == ["metrics"] and method == "GET":
@@ -390,9 +567,16 @@ class TuningService:
                 try:
                     # submit touches the cache (disk): keep it off the loop
                     record = await loop.run_in_executor(
-                        None, self.submit, job, solver)
+                        None, functools.partial(self.submit, job, solver,
+                                                client=client))
                 except SolverNotFoundError as exc:
                     raise _HttpError(404, exc.args[0]) from None
+                except AdmissionError as exc:
+                    raise _HttpError(
+                        429, str(exc),
+                        headers={"Retry-After": str(exc.retry_after)},
+                        extra={"retry_after": exc.retry_after,
+                               "reason": exc.reason}) from None
                 return 202, record.to_dict()
             if method == "GET":
                 return 200, await loop.run_in_executor(
@@ -421,9 +605,16 @@ class TuningService:
                 try:
                     # validates + submits; cache reads stay off the loop
                     campaign = await loop.run_in_executor(
-                        None, self.submit_campaign, cells, name)
+                        None, functools.partial(self.submit_campaign,
+                                                cells, name, client=client))
                 except SolverNotFoundError as exc:
                     raise _HttpError(404, exc.args[0]) from None
+                except AdmissionError as exc:
+                    raise _HttpError(
+                        429, str(exc),
+                        headers={"Retry-After": str(exc.retry_after)},
+                        extra={"retry_after": exc.retry_after,
+                               "reason": exc.reason}) from None
                 except ValueError as exc:
                     raise _HttpError(400, str(exc)) from None
                 return 202, campaign.to_dict()
@@ -466,12 +657,24 @@ class TuningService:
                     banner: bool = False) -> None:
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
+        try:
+            # graceful SIGTERM: without this, terminating the daemon
+            # orphans process-mode workers (they hold the inherited
+            # stdout pipe open, wedging any parent draining it)
+            self._loop.add_signal_handler(signal.SIGTERM,
+                                          self._stop_event.set)
+        except (NotImplementedError, ValueError, RuntimeError):
+            pass  # non-main thread or unsupported platform
         server = await asyncio.start_server(self._handle_conn,
                                             self.host, self.port)
         self.port = server.sockets[0].getsockname()[1]
+        # spawn worker processes (process mode) before declaring ready
+        # so the first request never pays process start-up latency
+        await self._loop.run_in_executor(None, self._tier.warm)
         if banner:
             print(f"repro serve: listening on http://{self.host}:{self.port}"
-                  f" ({self.workers} workers, cache {self.cache.root})",
+                  f" ({self.workers} {self.worker_mode} workers, "
+                  f"cache {self.cache.root})",
                   flush=True)
         if ready is not None:
             ready.set()
@@ -479,6 +682,7 @@ class TuningService:
             await self._stop_event.wait()
         self._shutting_down = True
         self._pool.shutdown(wait=True, cancel_futures=True)
+        self._tier.shutdown()
 
     def serve_forever(self, *, banner: bool = True) -> None:
         """Run in the current thread until interrupted (the CLI path)."""
@@ -487,6 +691,7 @@ class TuningService:
         except KeyboardInterrupt:
             self._shutting_down = True
             self._pool.shutdown(wait=False, cancel_futures=True)
+            self._tier.shutdown()
 
     def run_in_thread(self) -> ServiceHandle:
         """Start on a daemon thread; returns once the port is bound."""

@@ -8,16 +8,42 @@ JSON-serializable data.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 import uuid
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.api.job import TuningJob
 from repro.api.report import SolveReport
 
 __all__ = ["CampaignRecord", "JOB_STATES", "InFlight", "JobRecord",
-           "ServiceMetrics"]
+           "ServiceMetrics", "percentiles"]
+
+#: how many of the most recent per-job latency samples feed the
+#: ``/metrics`` percentiles (a bounded sliding window, not all-time)
+LATENCY_WINDOW = 2048
+
+
+def percentiles(samples, points=(50.0, 95.0, 99.0)) -> dict:
+    """Nearest-rank percentiles of ``samples``, keyed ``"p50"`` etc.
+
+    Empty input yields all-zero values (the service reports them
+    before any job has finished). Shared by the service's ``/metrics``
+    section and the ``repro load`` report so both quote the same
+    statistic.
+    """
+    ordered = sorted(samples)
+    out = {}
+    for point in points:
+        key = f"p{point:g}"
+        if not ordered:
+            out[key] = 0.0
+            continue
+        rank = max(1, math.ceil(point / 100.0 * len(ordered)))
+        out[key] = float(ordered[min(rank, len(ordered)) - 1])
+    return out
 
 #: lifecycle: queued -> running -> done | failed | cancelled
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
@@ -57,6 +83,11 @@ class JobRecord:
     from_cache: bool = False
     #: True when this record attached to another record's in-flight search
     coalesced: bool = False
+    #: who submitted (the ``X-Repro-Client`` header; quota bookkeeping)
+    client: str = ""
+    #: True while this record holds one of its client's quota slots —
+    #: flipped off exactly once, at the terminal transition
+    counted: bool = field(default=False, repr=False)
     cancel_event: threading.Event = field(default_factory=threading.Event,
                                           repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
@@ -133,6 +164,7 @@ class JobRecord:
                 "duration_seconds": self.duration_seconds,
                 "from_cache": self.from_cache,
                 "coalesced": self.coalesced,
+                "client": self.client,
                 "progress": dict(self.progress) if self.progress else None,
                 "error": self.error,
             }
@@ -255,6 +287,7 @@ class ServiceMetrics:
         "jobs_submitted", "jobs_completed", "jobs_failed", "jobs_cancelled",
         "cache_hits", "cache_misses", "coalesced", "solver_invocations",
         "campaigns_submitted", "campaign_cells",
+        "rejected_queue", "rejected_quota",
     )
     #: prune-and-memoize counters accumulated from each completed
     #: search's ``SolveReport.search_stats`` (cache hits excluded — no
@@ -271,6 +304,9 @@ class ServiceMetrics:
         self._search = dict.fromkeys(self._SEARCH_COUNTERS, 0)
         self._solve_seconds_total = 0.0
         self._solve_count = 0
+        #: sliding windows of per-job end-to-end latency / queue wait
+        self._latency = deque(maxlen=LATENCY_WINDOW)
+        self._wait = deque(maxlen=LATENCY_WINDOW)
         self._started_at = time.time()  # repro: allow[determinism] display timestamp
         self._started_monotonic = time.monotonic()
 
@@ -285,6 +321,23 @@ class ServiceMetrics:
             self._solve_seconds_total += float(seconds)
             self._solve_count += 1
 
+    def observe_job(self, wait_seconds: "float | None",
+                    duration_seconds: "float | None") -> None:
+        """Record one finished job's queue wait + end-to-end latency."""
+        if duration_seconds is None:
+            return
+        wait = float(wait_seconds) if wait_seconds is not None else 0.0
+        with self._lock:
+            self._wait.append(wait)
+            self._latency.append(wait + float(duration_seconds))
+
+    def avg_solve_seconds(self) -> float:
+        """Mean solver wall-time so far (0.0 before the first solve)."""
+        with self._lock:
+            if not self._solve_count:
+                return 0.0
+            return self._solve_seconds_total / self._solve_count
+
     def observe_search(self, search_stats: dict) -> None:
         """Fold one report's prune/memo counters into the ledger."""
         if not search_stats:
@@ -296,16 +349,22 @@ class ServiceMetrics:
                     self._search[name] += int(value)
 
     def snapshot(self, *, in_flight: int = 0, tracked: int = 0,
-                 workers: int = 0, campaigns_tracked: int = 0) -> dict:
+                 workers: int = 0, campaigns_tracked: int = 0,
+                 worker_tier: "dict | None" = None,
+                 max_pending: int = 0, quota: int = 0) -> dict:
         with self._lock:
             counts = dict(self._counts)
             search = dict(self._search)
             total = self._solve_seconds_total
             solves = self._solve_count
+            latency_samples = list(self._latency)
+            wait_samples = list(self._wait)
             started_at = self._started_at
             # monotonic math: immune to NTP steps that would skew or
             # even negate a wall-clock uptime
             uptime = time.monotonic() - self._started_monotonic
+        latency = percentiles(latency_samples)
+        wait = percentiles(wait_samples)
         return {
             "uptime_seconds": uptime,
             "started_at": started_at,
@@ -333,5 +392,23 @@ class ServiceMetrics:
                 "solve_seconds_total": total,
                 "solve_seconds_avg": (total / solves) if solves else 0.0,
             },
+            "admission": {
+                "max_pending": max_pending,
+                "quota": quota,
+                "queue_depth": in_flight,
+                "rejected_queue": counts["rejected_queue"],
+                "rejected_quota": counts["rejected_quota"],
+            },
+            "latency": {
+                "samples": len(latency_samples),
+                "p50": latency["p50"],
+                "p95": latency["p95"],
+                "p99": latency["p99"],
+                "wait_p50": wait["p50"],
+                "wait_p95": wait["p95"],
+                "wait_p99": wait["p99"],
+            },
+            "worker_tier": dict(worker_tier) if worker_tier else
+            {"mode": "thread", "workers": workers, "restarts": 0},
             "search": search,
         }

@@ -1,0 +1,273 @@
+"""Solver worker tiers: in-process threads or routed worker processes.
+
+The daemon front (submit / coalesce / plan cache, see ``server.py``) is
+tier-agnostic: once a ``(solver, fingerprint)`` key misses the cache
+and is not already in flight, the search is handed to a *worker tier*:
+
+* :class:`ThreadWorkerTier` — today's behavior: the search runs on the
+  calling pool thread via :func:`repro.api.solve`. Cheap, shares the
+  process-wide menu memo, but the GIL serializes the search hot path.
+* :class:`ProcessWorkerTier` — ``N`` single-process pools
+  (``spawn`` start method: forking a threaded asyncio daemon is
+  deadlock-prone). Searches run on real cores; results come back as
+  serialized :class:`~repro.api.SolveReport` dicts.
+
+Routing is **fingerprint-consistent**: worker index =
+``sha256(solver:fingerprint) % N``. Coalescing already collapses
+identical in-flight submissions *before* the tier sees them, so the
+tier never runs the same key twice concurrently; pinning repeats of a
+fingerprint to the same process additionally keeps that worker's
+process-local menu memo warm for re-searches of the same workload.
+
+Chaos semantics: a worker process dying mid-search surfaces as
+:class:`concurrent.futures.process.BrokenProcessPool`. The tier
+retires the broken pool, respawns the slot lazily, and retries the
+search up to ``retries`` times before raising :class:`WorkerDiedError`
+— so one ``kill -9`` fails (or transparently retries) exactly the jobs
+routed to that worker and never wedges the queue.
+
+Cancellation in the process tier is dispatch-side: ``should_stop`` is
+polled while awaiting the worker future. A search already running in a
+worker process finishes in the background (its report still lands in
+the shared plan cache); there is no cross-process mid-search signal.
+For the same reason ``progress`` callbacks are not relayed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor  # repro: allow[registry-discipline] stdlib pool, not the campaign executor of the same name
+from concurrent.futures import TimeoutError as _FutureTimeoutError
+
+from repro.api import PlanCache, SolveReport, TuningJob, solve
+from repro.core.tuner import SearchCancelled
+
+try:  # BrokenProcessPool moved around across 3.x; be explicit
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover - py3.10+ always has it
+    from concurrent.futures import BrokenExecutor as BrokenProcessPool
+
+__all__ = ["ProcessWorkerTier", "ThreadWorkerTier", "WorkerDiedError",
+           "make_tier"]
+
+
+class WorkerDiedError(RuntimeError):
+    """A routed worker process died mid-search (retries exhausted)."""
+
+
+def _process_solve(solver: str, job_dict: dict,
+                   cache_dir: "str | None") -> tuple[int, dict, bool]:
+    """Worker-process body: solve one job, return a picklable triple.
+
+    Mirrors the campaigns process-pool executor's cache-sharing
+    pattern: the worker opens the *same on-disk* :class:`PlanCache`
+    directory as the daemon, so its stores are immediately visible to
+    the front (atomic tmp-file writes make this safe concurrently).
+    """
+    job = TuningJob.from_dict(job_dict)
+    cache = PlanCache(cache_dir) if cache_dir is not None else None
+    report = solve(job, solver, cache=cache)
+    return os.getpid(), report.to_dict(), bool(report.from_cache)
+
+
+def _process_ping() -> int:
+    """Force a worker process to exist; report its pid."""
+    return os.getpid()
+
+
+class ThreadWorkerTier:
+    """Run searches inline on the caller's (pool) thread.
+
+    This is the pre-existing single-process mode: the service's
+    ``ThreadPoolExecutor`` thread calls straight into
+    :func:`repro.api.solve` (or the injected ``solve_fn``), with full
+    ``progress`` / ``should_stop`` hook fidelity.
+    """
+
+    mode = "thread"
+
+    def __init__(self, workers: int, *, solve_fn=None):
+        self.workers = int(workers)
+        self._solve = solve_fn if solve_fn is not None else solve
+
+    def run(self, job: TuningJob, solver: str, *, cache=None,
+            progress=None, should_stop=None) -> SolveReport:
+        return self._solve(job, solver, cache=cache,
+                           progress=progress, should_stop=should_stop)
+
+    def warm(self, timeout: float = 60.0) -> list[int]:
+        """Nothing to pre-spawn; searches run in this process."""
+        del timeout
+        return []
+
+    def worker_pids(self) -> list:
+        return []
+
+    def stats(self) -> dict:
+        return {"mode": self.mode, "workers": self.workers, "restarts": 0}
+
+    def shutdown(self, wait: bool = False) -> None:
+        del wait
+
+
+class ProcessWorkerTier:
+    """Route searches onto ``N`` single-process worker pools.
+
+    Each slot is its own one-worker :class:`ProcessPoolExecutor` so
+    that (a) routing is strict — a fingerprint always lands on its
+    assigned process, keeping per-process memo locality — and (b) a
+    crash is contained: only the broken slot respawns, the other
+    workers keep their warm state.
+    """
+
+    mode = "process"
+
+    def __init__(self, workers: int, *, retries: int = 1,
+                 start_method: str = "spawn",
+                 poll_interval: float = 0.05):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.workers = int(workers)
+        self.retries = int(retries)
+        self.poll_interval = float(poll_interval)
+        self._ctx = multiprocessing.get_context(start_method)
+        self._lock = threading.Lock()
+        self._pools: list = [None] * workers
+        self._pids: list = [None] * workers
+        self._restarts = 0
+
+    # -- routing -----------------------------------------------------------
+
+    def route(self, solver: str, fingerprint: str) -> int:
+        """Consistent worker index for a ``(solver, fingerprint)`` key."""
+        digest = hashlib.sha256(
+            f"{solver}:{fingerprint}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") % self.workers
+
+    # -- slot management ---------------------------------------------------
+
+    def _pool_for(self, index: int) -> ProcessPoolExecutor:
+        with self._lock:
+            pool = self._pools[index]
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=1,
+                                           mp_context=self._ctx)
+                self._pools[index] = pool
+            return pool
+
+    def _retire(self, index: int, broken: ProcessPoolExecutor) -> None:
+        """Drop a broken slot so the next submit respawns it."""
+        with self._lock:
+            if self._pools[index] is broken:
+                self._pools[index] = None
+                self._pids[index] = None
+                self._restarts += 1
+        broken.shutdown(wait=False, cancel_futures=True)
+
+    # -- search ------------------------------------------------------------
+
+    def run(self, job: TuningJob, solver: str, *, cache=None,
+            progress=None, should_stop=None) -> SolveReport:
+        del progress  # no cross-process progress channel (see module doc)
+        if should_stop is not None and should_stop():
+            raise SearchCancelled("cancelled before dispatch to a worker")
+        cache_dir = str(cache.root) if cache is not None else None
+        index = self.route(solver, job.fingerprint())
+        attempts = 0
+        while True:
+            attempts += 1
+            pool = self._pool_for(index)
+            try:
+                future = pool.submit(_process_solve, solver,
+                                     job.to_dict(), cache_dir)
+                pid, data, from_cache = self._await(future, should_stop)
+            except (BrokenProcessPool, RuntimeError) as exc:
+                # BrokenProcessPool: the worker died mid-search.
+                # RuntimeError: the pool broke between route and submit.
+                if isinstance(exc, SearchCancelled):
+                    raise
+                self._retire(index, pool)
+                if attempts > self.retries:
+                    raise WorkerDiedError(
+                        f"solver worker {index} died mid-search "
+                        f"({attempts} attempt(s)): {exc}") from exc
+                continue
+            with self._lock:
+                self._pids[index] = pid
+            report = SolveReport.from_dict(data)
+            report.from_cache = from_cache
+            return report
+
+    def _await(self, future, should_stop) -> tuple[int, dict, bool]:
+        """Poll the worker future, honoring dispatch-side cancellation."""
+        while True:
+            try:
+                return future.result(timeout=self.poll_interval)
+            except _FutureTimeoutError:
+                if should_stop is not None and should_stop():
+                    # the worker keeps searching and will still store
+                    # its report in the shared plan cache; only this
+                    # dispatch abandons the wait
+                    raise SearchCancelled(
+                        "cancelled while awaiting a worker process"
+                    ) from None
+
+    # -- introspection / lifecycle ----------------------------------------
+
+    def warm(self, timeout: float = 60.0) -> list[int]:
+        """Spawn every worker up front; returns their pids.
+
+        Called before the daemon reports ready so that the first real
+        request never pays process-spawn latency (which would pollute
+        the load harness's latency percentiles).
+        """
+        futures = [(index, self._pool_for(index).submit(_process_ping))
+                   for index in range(self.workers)]
+        deadline = time.monotonic() + timeout
+        pids = []
+        for index, future in futures:
+            remaining = max(0.1, deadline - time.monotonic())
+            pid = future.result(timeout=remaining)
+            with self._lock:
+                self._pids[index] = pid
+            pids.append(pid)
+        return pids
+
+    def worker_pids(self) -> list:
+        """Last-known pid per slot (``None`` until first contact)."""
+        with self._lock:
+            return list(self._pids)
+
+    def stats(self) -> dict:
+        with self._lock:
+            restarts = self._restarts
+        return {"mode": self.mode, "workers": self.workers,
+                "restarts": restarts}
+
+    def shutdown(self, wait: bool = False) -> None:
+        with self._lock:
+            pools = [pool for pool in self._pools if pool is not None]
+            self._pools = [None] * self.workers
+            self._pids = [None] * self.workers
+        for pool in pools:
+            pool.shutdown(wait=wait, cancel_futures=True)
+
+
+def make_tier(mode: str, workers: int, *, solve_fn=None, retries: int = 1):
+    """Build the worker tier for ``repro serve --worker-mode <mode>``."""
+    if mode == "thread":
+        return ThreadWorkerTier(workers, solve_fn=solve_fn)
+    if mode == "process":
+        if solve_fn is not None:
+            raise ValueError(
+                "solve_fn injection requires worker_mode='thread' "
+                "(a callable cannot cross the process boundary)")
+        return ProcessWorkerTier(workers, retries=retries)
+    raise ValueError(
+        f"unknown worker mode {mode!r}; expected 'thread' or 'process'")

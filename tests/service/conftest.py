@@ -20,7 +20,7 @@ import pytest
 
 from repro.api import PlanCache, SolveReport, TuningJob, register_solver
 from repro.core.tuner import SearchCancelled
-from repro.service import Client, TuningService
+from repro.service import running_service
 
 _JOB = TuningJob(model="gpt3-1.3b", gpu="L4", num_gpus=2, global_batch=16,
                  scale="smoke", interference="none")
@@ -98,13 +98,17 @@ def slow() -> StubState:
 
 
 @pytest.fixture()
-def service(tmp_path):
-    svc = TuningService(workers=2, cache=PlanCache(tmp_path / "plans"))
-    handle = svc.run_in_thread()
-    yield svc
-    handle.stop()
+def _running(tmp_path):
+    with running_service(workers=2,
+                         cache=PlanCache(tmp_path / "plans")) as pair:
+        yield pair
 
 
 @pytest.fixture()
-def client(service):
-    return Client(f"http://{service.host}:{service.port}", timeout=10)
+def service(_running):
+    return _running[0]
+
+
+@pytest.fixture()
+def client(_running):
+    return _running[1]
