@@ -14,6 +14,7 @@ from .determinism import DeterminismRule
 from .locks import LockDisciplineRule
 from .registry_discipline import RegistryDisciplineRule
 from .serialization import SerializationRule
+from .vectorization import VectorizationDisciplineRule
 
 __all__ = [
     "AsyncSafetyRule",
@@ -21,4 +22,5 @@ __all__ = [
     "LockDisciplineRule",
     "RegistryDisciplineRule",
     "SerializationRule",
+    "VectorizationDisciplineRule",
 ]

@@ -131,6 +131,7 @@ class MistSolver:
         tuning = tuner.search(job.global_batch,
                               parallelism=job.parallelism,
                               keep_top=job.keep_top,
+                              engine=job.engine,
                               progress=progress, should_stop=should_stop)
         # Execute the top predicted plans and keep the best measured one
         # (the artifact's benchmark-one-case step, which absorbs the

@@ -9,14 +9,18 @@ perf trajectory:
   the CLI harness can never drift apart);
 * :mod:`repro.benchmarking.bench` runs the suite at a chosen scale,
   emits the schema'd ``BENCH_4.json`` snapshot, validates the pruned
-  search against the exhaustive reference (plan hashes must match
-  bit for bit), and compares wall time against a committed baseline —
-  the artifact and the gate the CI ``perf`` job is built on.
+  search against the exhaustive reference *and* the vectorized
+  cost-model engine against the interpreted reference path (plan
+  hashes must match bit for bit, and the vectorized engine must clear
+  a minimum speedup), and compares wall time against a committed
+  baseline — the artifact and the gates the CI ``perf`` job is built
+  on.
 """
 
 from .bench import (
     BENCH_SCHEMA,
     check_against_baseline,
+    check_engine_speedup,
     format_bench,
     plan_hash,
     run_bench,
@@ -27,6 +31,7 @@ from .fig16 import fig16_spec, measure_fig16
 __all__ = [
     "BENCH_SCHEMA",
     "check_against_baseline",
+    "check_engine_speedup",
     "fig16_spec",
     "format_bench",
     "measure_fig16",

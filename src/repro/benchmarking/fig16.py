@@ -54,7 +54,8 @@ def _make_tuner(spec: WorkloadSpec, scale: TuningScale, space,
 
 
 def measure_fig16(scale: TuningScale, *, prune: bool = True,
-                  parallel_rerun: bool = False) -> dict:
+                  parallel_rerun: bool = False,
+                  engine: str = "vectorized") -> dict:
     """Tune the Fig. 16 workload over every incremental space.
 
     Returns a JSON-ready dict::
@@ -64,11 +65,13 @@ def measure_fig16(scale: TuningScale, *, prune: bool = True,
          "plan_hashes": {name: hash-or-None},
          "parallel": {...} }            # only with parallel_rerun
 
-    ``prune`` selects the engine; with ``parallel_rerun`` the widest
-    space is searched once more with one worker per core against the
-    same menu memo — proving both that the fan-out returns the
-    identical plan and that the memo serves the repeated subproblems
-    (its ``memo_hits`` land in the ``parallel`` section).
+    ``prune`` selects the search path and ``engine`` the cost-model
+    evaluation path (``"vectorized"`` compiled numpy closures vs the
+    ``"interpreted"`` per-config reference); with ``parallel_rerun``
+    the widest space is searched once more with one worker per core
+    against the same menu memo — proving both that the fan-out returns
+    the identical plan and that the memo serves the repeated
+    subproblems (its ``memo_hits`` land in the ``parallel`` section).
     """
     spec = fig16_spec(scale.name)
     cluster = spec.cluster
@@ -85,7 +88,8 @@ def measure_fig16(scale: TuningScale, *, prune: bool = True,
     for space in INCREMENTAL_SPACES:
         tuner = _make_tuner(spec, scale, space, interference)
         start = time.perf_counter()
-        result = tuner.search(spec.global_batch, prune=prune, memo=memo)
+        result = tuner.search(spec.global_batch, prune=prune, memo=memo,
+                              engine=engine)
         seconds = time.perf_counter() - start
         wall += seconds
         entry = {
@@ -105,6 +109,7 @@ def measure_fig16(scale: TuningScale, *, prune: bool = True,
     out = {
         "workload": spec.name,
         "prune": prune,
+        "engine": engine,
         "wall_time_seconds": wall,
         "per_space": per_space,
         "stats": totals,
@@ -115,7 +120,7 @@ def measure_fig16(scale: TuningScale, *, prune: bool = True,
         tuner, serial = last
         start = time.perf_counter()
         parallel = tuner.search(spec.global_batch, parallelism=0,
-                                prune=prune, memo=memo)
+                                prune=prune, memo=memo, engine=engine)
         seconds = time.perf_counter() - start
         stats = parallel.stats.to_dict() if parallel.stats else {}
         out["parallel"] = {

@@ -9,12 +9,21 @@ every combination of
   :class:`~repro.core.spaces.SearchSpace` grids,
 * candidate per-stage layer counts,
 
-evaluates them **in one batched analyzer call** (Section 5.2's
-"batched value substitutions"), filters by the memory budget (Eq. 4's
-constraint), and extracts the Pareto frontier over
+materializes the whole menu as **columnar arrays** (one array per
+symbol) and evaluates memory feasibility, the dominance pre-reduction
+and the runtime objective in a handful of vectorized analyzer calls
+(Section 5.2's "batched value substitutions"), filters by the memory
+budget (Eq. 4's constraint), and extracts the Pareto frontier over
 ``(t_stable, d_delta)`` per layer count. Because querying single points
 is nearly free, the enumeration is brute force — "which would not miss
 any optimization possibilities" (Section 5.3).
+
+Per-config Python loops are banished from this module (the
+``vectorization-discipline`` check enforces it); the one sanctioned
+per-config path is ``engine="interpreted"``, which routes the same
+columnar menu through :meth:`repro.symbolic.CompiledExpr.interpret` —
+the row-at-a-time reference interpreter the differential tests compare
+against.
 
 The frontier — rather than a single winner — is the hand-off to the
 inter-stage MILP: different ``(t, d)`` trade-offs win depending on how
@@ -27,6 +36,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.symbolic import validate_engine
 
 from .analyzer import SymbolicPerformanceAnalyzer
 from .plan import StageConfig
@@ -50,6 +61,7 @@ def stage_parallelism_options(analyzer: SymbolicPerformanceAnalyzer,
     if per_wave * gacc != global_batch:
         return []
     options = []
+    # repro: allow[vectorization-discipline] iterates (dp, tp) options, not menu rows
     for dp, tp in analyzer.cluster.stage_parallelism_options(stage_gpus):
         if analyzer.traced.config.hidden_size % tp != 0:
             continue
@@ -82,6 +94,7 @@ def _frontier_candidates(l_g: np.ndarray, t_v: np.ndarray,
     d_s = d_v[order]
     starts = np.flatnonzero(np.r_[True, l_s[1:] != l_s[:-1]])
     ends = np.r_[starts[1:], l_s.size]
+    # repro: allow[vectorization-discipline] iterates layer-count segments, not menu rows
     for s, e in zip(starts, ends):
         seg = d_s[s:e]
         prev_min = np.r_[np.inf, np.minimum.accumulate(seg)[:-1]]
@@ -124,16 +137,26 @@ class StageShape:
 
 
 class IntraStageTuner:
-    """Brute-force batched enumeration over one stage's search space."""
+    """Batched columnar enumeration over one stage's search space.
+
+    ``engine`` selects the cost-model evaluation path: ``"vectorized"``
+    (default) runs the compiled numpy closures over the whole columnar
+    menu at once; ``"interpreted"`` routes the *same* menu through the
+    per-config tree-walking interpreter. The two produce bit-identical
+    menus and identical ``evaluated`` / ``prefiltered`` counters — the
+    interpreted path exists purely as the differential-testing
+    reference.
+    """
 
     def __init__(self, analyzer: SymbolicPerformanceAnalyzer,
                  space: SearchSpace, *, global_batch: int, seq_len: int,
-                 max_pareto_points: int = 8):
+                 max_pareto_points: int = 8, engine: str = "vectorized"):
         self.analyzer = analyzer
         self.space = space
         self.global_batch = global_batch
         self.seq_len = seq_len
         self.max_pareto_points = max_pareto_points
+        self.engine = validate_engine(engine)
         #: configurations enumerated so far (tuning-time accounting);
         #: includes rows the memory pre-filter later rejected, so the
         #: count is identical with and without pre-filtering
@@ -164,31 +187,29 @@ class IntraStageTuner:
         return stage_parallelism_options(
             self.analyzer, shape.stage_gpus, shape.gacc, self.global_batch)
 
-    # -- tuning -----------------------------------------------------------------
+    # -- menu materialization -----------------------------------------------
 
-    def tune(self, shape: StageShape, layer_counts: list[int], *,
-             prefilter: bool = False) -> dict[int, list[ParetoPoint]]:
-        """Pareto frontiers per layer count: ``{l: [ParetoPoint, ...]}``.
+    def _menu_columns(self, shape: StageShape,
+                      layer_counts: list[int]) -> dict[str, np.ndarray] | None:
+        """The stage's full config menu as columnar arrays.
 
-        Returns an empty list for layer counts with no feasible (within
-        memory budget) configuration.
+        One array per symbol, rows ordered by (dp, tp, b) option first
+        and meshgrid enumeration within each option second — the same
+        order the per-option batches used to accumulate in, which the
+        stable frontier extraction's tie-breaking depends on.
 
-        ``prefilter=True`` enables the symbolic memory-feasibility
-        pre-filter: peak memory is evaluated first through the
-        analyzer's memory-only projection and candidates over budget
-        are dropped *before* the (more expensive) runtime evaluation.
-        The surviving menus are bit-identical either way — the filter
-        applies the exact constraint the post-evaluation check applies,
-        just earlier.
+        Hardware symbol values are constant within an option block, so
+        they are resolved once per option (the topology lookup is a
+        per-pair table walk, not an elementwise kernel) and broadcast
+        into full columns.
         """
-        self._gacc = shape.gacc
-        menus: dict[int, list[tuple[float, float, float, StageConfig]]] = {
-            l: [] for l in layer_counts
-        }
         zero_levels = self._zero_grid()
         ckpt_vals = self._ckpt_grid(layer_counts)
         l_vals = np.asarray(sorted(layer_counts), dtype=int)
+        hw_keys: list[str] | None = None
+        blocks: list[dict[str, np.ndarray]] = []
 
+        # repro: allow[vectorization-discipline] iterates (dp, tp, b) option blocks, not menu rows
         for dp, tp, b in self._parallelism_options(shape):
             grid = np.meshgrid(
                 l_vals, ckpt_vals, zero_levels,
@@ -211,7 +232,6 @@ class IntraStageTuner:
             n = l_g.size
             if n == 0:
                 continue
-            self.evaluated += n
 
             # hardware values are constant for this (dp, tp) choice
             hw = {k: float(v.reshape(-1)[0])
@@ -220,56 +240,100 @@ class IntraStageTuner:
                 hw["p2p_bw"] = min(hw["p2p_bw"], shape.p2p_bandwidth_cap)
             if shape.p2p_latency_floor is not None:
                 hw["p2p_lat"] = max(hw["p2p_lat"], shape.p2p_latency_floor)
-            env = self.analyzer.build_env(
-                b=np.full(n, b), s=np.full(n, self.seq_len),
-                tp=np.full(n, tp), dp=np.full(n, dp),
-                l=l_g, ckpt=ckpt_g,
-                z1=(zero_g >= 1).astype(float),
-                z2=(zero_g >= 2).astype(float),
-                z3=(zero_g >= 3).astype(float),
-                wo=wo_g, go=go_g, oo=oo_g, ao=ao_g,
-                gacc=np.full(n, shape.gacc),
-                inflight=np.full(n, shape.inflight),
-                has_pre=np.full(n, int(shape.has_pre)),
-                has_post=np.full(n, int(shape.has_post)),
-                **hw,
-            )
-            if prefilter:
-                fits_mem = (self.analyzer.predict_memory(env)
-                            <= self.analyzer.memory_budget)
-                self.prefiltered += int(n - fits_mem.sum())
-                if not fits_mem.any():
-                    continue
-                if not fits_mem.all():
-                    env = {name: (value[fits_mem]
-                                  if getattr(value, "ndim", 0) >= 1
-                                  else value)
-                           for name, value in env.items()}
-                    l_g, ckpt_g, zero_g = (l_g[fits_mem], ckpt_g[fits_mem],
-                                           zero_g[fits_mem])
-                    wo_g, go_g = wo_g[fits_mem], go_g[fits_mem]
-                    oo_g, ao_g = oo_g[fits_mem], ao_g[fits_mem]
-            pred = self.analyzer.predict(env)
+            if hw_keys is None:
+                hw_keys = sorted(hw)
 
-            fits = pred.peak_mem <= self.analyzer.memory_budget
-            if not fits.any():
-                continue
+            block = {
+                "b": np.full(n, b), "tp": np.full(n, tp), "dp": np.full(n, dp),
+                "l": l_g, "ckpt": ckpt_g, "zero": zero_g,
+                "wo": wo_g, "go": go_g, "oo": oo_g, "ao": ao_g,
+            }
+            block.update({k: np.full(n, hw[k]) for k in hw_keys})
+            blocks.append(block)
+
+        if not blocks:
+            return None
+        return {name: np.concatenate([blk[name] for blk in blocks])
+                for name in blocks[0]}
+
+    # -- tuning -----------------------------------------------------------------
+
+    def tune(self, shape: StageShape, layer_counts: list[int], *,
+             prefilter: bool = False) -> dict[int, list[ParetoPoint]]:
+        """Pareto frontiers per layer count: ``{l: [ParetoPoint, ...]}``.
+
+        Returns an empty list for layer counts with no feasible (within
+        memory budget) configuration.
+
+        ``prefilter=True`` enables the symbolic memory-feasibility
+        pre-filter: peak memory is evaluated first through the
+        analyzer's memory-only projection and candidates over budget
+        are dropped *before* the (more expensive) runtime evaluation.
+        The surviving menus are bit-identical either way — the filter
+        applies the exact constraint the post-evaluation check applies,
+        just earlier.
+        """
+        self._gacc = shape.gacc
+        menus: dict[int, list[tuple[float, float, float, StageConfig]]] = {
+            l: [] for l in layer_counts
+        }
+        cols = self._menu_columns(shape, layer_counts)
+        if cols is None:
+            return {l: [] for l in layer_counts}
+        n = cols["l"].size
+        self.evaluated += n
+
+        analyzer = self.analyzer
+        env = analyzer.build_env(
+            b=cols["b"], s=np.full(n, self.seq_len),
+            tp=cols["tp"], dp=cols["dp"],
+            l=cols["l"], ckpt=cols["ckpt"],
+            z1=(cols["zero"] >= 1).astype(float),
+            z2=(cols["zero"] >= 2).astype(float),
+            z3=(cols["zero"] >= 3).astype(float),
+            wo=cols["wo"], go=cols["go"], oo=cols["oo"], ao=cols["ao"],
+            gacc=np.full(n, shape.gacc),
+            inflight=np.full(n, shape.inflight),
+            has_pre=np.full(n, int(shape.has_pre)),
+            has_post=np.full(n, int(shape.has_post)),
+            **{k: cols[k] for k in cols
+               if k not in ("b", "tp", "dp", "l", "ckpt", "zero",
+                            "wo", "go", "oo", "ao")},
+        )
+        if prefilter:
+            fits_mem = (analyzer.predict_memory(env, engine=self.engine)
+                        <= analyzer.memory_budget)
+            self.prefiltered += int(n - fits_mem.sum())
+            if not fits_mem.any():
+                return {l: [] for l in layer_counts}
+            if not fits_mem.all():
+                env = {name: (value[fits_mem]
+                              if getattr(value, "ndim", 0) >= 1
+                              else value)
+                       for name, value in env.items()}
+                cols = {name: value[fits_mem]
+                        for name, value in cols.items()}
+        pred = analyzer.predict(env, engine=self.engine)
+
+        fits = pred.peak_mem <= analyzer.memory_budget
+        if fits.any():
             if prefilter:
                 # every row already fits; cheaply discard dominated rows
                 # before the per-row StageConfig construction
                 fits &= _frontier_candidates(
-                    l_g, np.asarray(pred.t_stable, dtype=float),
+                    cols["l"], np.asarray(pred.t_stable, dtype=float),
                     np.asarray(pred.delta, dtype=float))
-            idx_fit = np.nonzero(fits)[0]
-            for i in idx_fit:
+            # repro: allow[vectorization-discipline] builds StageConfigs for surviving frontier candidates only
+            for i in np.nonzero(fits)[0]:
                 cfg = StageConfig(
-                    layers=int(l_g[i]), microbatch=b, dp=dp, tp=tp,
-                    zero=int(zero_g[i]), ckpt=int(ckpt_g[i]),
-                    wo=float(wo_g[i]), go=float(go_g[i]),
-                    oo=float(oo_g[i]), ao=float(ao_g[i]),
+                    layers=int(cols["l"][i]), microbatch=int(cols["b"][i]),
+                    dp=int(cols["dp"][i]), tp=int(cols["tp"][i]),
+                    zero=int(cols["zero"][i]), ckpt=int(cols["ckpt"][i]),
+                    wo=float(cols["wo"][i]), go=float(cols["go"][i]),
+                    oo=float(cols["oo"][i]), ao=float(cols["ao"][i]),
                     device_group=shape.group,
                 )
-                menus[int(l_g[i])].append(
+                menus[int(cols["l"][i])].append(
                     (float(pred.t_stable[i]), float(pred.delta[i]),
                      float(pred.peak_mem[i]), cfg)
                 )
@@ -296,6 +360,7 @@ class IntraStageTuner:
         entries.sort(key=lambda e: (e[0], e[1]))
         frontier = []
         best_d = np.inf
+        # repro: allow[vectorization-discipline] walks the sorted frontier, already reduced
         for t, d, mem, cfg in entries:
             if d < best_d - 1e-12:
                 frontier.append(ParetoPoint(t=t, d=d, peak_mem=mem, config=cfg))
@@ -305,6 +370,7 @@ class IntraStageTuner:
             t_arr = np.array([p.t for p in frontier])
             d_arr = np.array([p.d for p in frontier])
             keep: set[int] = {0, len(frontier) - 1}  # min-t and min-d ends
+            # repro: allow[vectorization-discipline] alpha-sweep over <= max_pareto_points scalarizations
             for alpha in np.linspace(0.0, 1.0, self.max_pareto_points):
                 scores = alpha * gacc * t_arr + (1.0 - alpha) * d_arr
                 keep.add(int(np.argmin(scores)))

@@ -77,6 +77,7 @@ import numpy as np
 from repro.costmodel.interference import InterferenceModel
 from repro.hardware import ClusterSpec, HeterogeneousCluster
 from repro.models.config import ModelConfig
+from repro.symbolic import validate_engine
 from repro.tracing import trace
 
 from . import inter_stage
@@ -118,11 +119,14 @@ class SearchStats:
     the telemetry that distinguishes replay from fresh work. Under a
     parallel pruned search the explored/pruned split may vary slightly
     run-to-run (incumbents arrive in timing-dependent order); the
-    returned plans never do.
+    returned plans never do. All counters are also independent of
+    ``engine`` — both evaluation paths score the same configurations.
     """
 
     #: False when the search ran the exhaustive reference path
     prune: bool = True
+    #: cost-model evaluation path ("vectorized" or "interpreted")
+    engine: str = "vectorized"
     cells_total: int = 0
     cells_explored: int = 0
     #: cells skipped by the branch-and-bound cut
@@ -142,6 +146,7 @@ class SearchStats:
     def to_dict(self) -> dict:
         return {
             "prune": self.prune,
+            "engine": self.engine,
             "cells_total": self.cells_total,
             "cells_explored": self.cells_explored,
             "cells_pruned": self.cells_pruned,
@@ -376,7 +381,8 @@ class MistTuner:
     def search(self, global_batch: int, *, parallelism: int = 1,
                verbose: bool = False, keep_top: int = 3,
                progress=None, should_stop=None, prune: bool = True,
-               memo: MenuMemo | None = None) -> TuningResult:
+               memo: MenuMemo | None = None,
+               engine: str = "vectorized") -> TuningResult:
         """Solve the (S, G) grid and return the ranked outcome.
 
         ``prune=True`` (the default) runs the prune-and-memoize engine:
@@ -401,13 +407,23 @@ class MistTuner:
         :class:`SearchCancelled`, discarding partial results. Both hooks
         exist for long-running callers (the ``repro serve`` daemon) that
         need liveness and cancellation.
+
+        ``engine`` selects the cost-model evaluation path:
+        ``"vectorized"`` (the default) evaluates whole config menus
+        through the compiled numpy closures; ``"interpreted"`` walks
+        the raw expression trees one configuration at a time. Returned
+        plans, objectives and work counters are bit-identical across
+        engines — the interpreted path exists as the slow reference the
+        differential tests compare against.
         """
+        engine = validate_engine(engine)
         if prune:
             return self._search_pruned(
                 global_batch, parallelism=parallelism, verbose=verbose,
                 keep_top=keep_top, progress=progress,
                 should_stop=should_stop,
                 memo=memo if memo is not None else GLOBAL_MENU_MEMO,
+                engine=engine,
             )
         start = time.perf_counter()
         grid = self._sg_grid(global_batch)
@@ -419,7 +435,7 @@ class MistTuner:
             if should_stop is not None and should_stop():
                 raise SearchCancelled(
                     f"search cancelled after {done[0]}/{total} cells")
-            solution = self._tune_pipeline(global_batch, *task)
+            solution = self._tune_pipeline(global_batch, *task, engine=engine)
             with done_lock:
                 done[0] += 1
                 if progress is not None:
@@ -463,8 +479,9 @@ class MistTuner:
 
         candidates.sort(key=lambda item: item[0])
         stats = SearchStats(
-            prune=False, cells_total=total, cells_explored=total,
-            configs_evaluated=evaluated, bound_pruning=False,
+            prune=False, engine=engine, cells_total=total,
+            cells_explored=total, configs_evaluated=evaluated,
+            bound_pruning=False,
         )
         return self._result(candidates, global_batch, start, evaluated,
                             search_log, keep_top, stats)
@@ -502,22 +519,24 @@ class MistTuner:
 
     def _search_pruned(self, global_batch: int, *, parallelism: int,
                        verbose: bool, keep_top: int, progress, should_stop,
-                       memo: MenuMemo) -> TuningResult:
+                       memo: MenuMemo,
+                       engine: str = "vectorized") -> TuningResult:
         start = time.perf_counter()
         grid = self._sg_grid(global_batch)
         total = len(grid)
-        stats = SearchStats(cells_total=total)
+        stats = SearchStats(cells_total=total, engine=engine)
         # The bound argument needs every interference factor >= 1 (see
         # InterferenceModel.min_factor); a physically meaningless model
         # silently falls back to prefilter + memoization only.
         bound_ok = all(a.interference.min_factor() >= 1.0
                        for a in self.analyzers.values())
         stats.bound_pruning = bound_ok
-        bounds, feasible = self._cell_bounds(global_batch, grid)
+        bounds, feasible = self._cell_bounds(global_batch, grid,
+                                             engine=engine)
         seed_idx = None
         if self.hetero is None:
             seed_idx, seed_info = self._heuristic_seed(
-                global_batch, grid, feasible)
+                global_batch, grid, feasible, engine=engine)
             stats.seed = seed_info
         order = sorted(
             range(total),
@@ -541,7 +560,8 @@ class MistTuner:
                 solution, counts = self._tune_pipeline_memo(
                     global_batch, grid[idx], memo,
                     threshold=(incumbents.threshold() if bound_ok
-                               else math.inf))
+                               else math.inf),
+                    engine=engine)
                 if solution:
                     incumbents.offer(solution.objective)
                 outcomes[idx] = ("explored", solution, counts)
@@ -604,8 +624,9 @@ class MistTuner:
         return self._result(ranked, global_batch, start, evaluated,
                             search_log, keep_top, stats)
 
-    def _cell_bounds(self, global_batch: int,
-                     grid: list[tuple]) -> tuple[list[float], list[bool]]:
+    def _cell_bounds(self, global_batch: int, grid: list[tuple], *,
+                     engine: str = "vectorized",
+                     ) -> tuple[list[float], list[bool]]:
         """Optimistic lower bound + feasibility flag per (S, G) cell.
 
         The bound is compute-only and interference-free: for every
@@ -658,7 +679,7 @@ class MistTuner:
                 gacc=gacc_a, inflight=np.ones(n),
                 has_pre=np.zeros(n), has_post=np.zeros(n),
             )
-            comp = analyzer.compute_channel(env)
+            comp = analyzer.compute_channel(env, engine=engine)
             pos = 0
             for key, options in entries:
                 floor = math.inf
@@ -687,7 +708,8 @@ class MistTuner:
         return bounds, feasible
 
     def _heuristic_seed(self, global_batch: int, grid: list[tuple],
-                        feasible: list[bool]):
+                        feasible: list[bool], *,
+                        engine: str = "vectorized"):
         """Pick the cell a Megatron-style uniform layout prefers.
 
         For every feasible homogeneous cell, price the uniform
@@ -745,7 +767,7 @@ class MistTuner:
             gacc=gacc_a, inflight=inflight_a,
             has_pre=pre_a, has_post=post_a,
         )
-        pred = self.analyzer.predict(env)
+        pred = self.analyzer.predict(env, engine=engine)
         fits = pred.peak_mem <= self.analyzer.memory_budget
 
         best_idx, best_obj, best_gacc, best_stages = None, math.inf, 0, 0
@@ -809,7 +831,8 @@ class MistTuner:
 
     def _tune_pipeline_memo(self, global_batch: int, task: tuple,
                             memo: MenuMemo, *,
-                            threshold: float = math.inf):
+                            threshold: float = math.inf,
+                            engine: str = "vectorized"):
         """Solve one (S, G) cell through the memoized, prefiltered path.
 
         Returns ``(solution, _CellCounts)``. Results are bit-identical
@@ -828,7 +851,12 @@ class MistTuner:
         seen_in_cell: set[tuple] = set()
 
         def menus_for(group: str, shape: StageShape, lcounts: list[int]):
-            key = (self._memo_scope, global_batch, shape, tuple(lcounts))
+            # engine is part of the key: menus are bit-identical across
+            # engines, but replaying a vectorized entry under
+            # engine="interpreted" would let memo warmth mask exactly
+            # the divergence the differential tests exist to catch
+            key = (self._memo_scope, engine, global_batch, shape,
+                   tuple(lcounts))
             entry = memo.lookup(key)
             if entry is None:
                 counts.memo_misses += 1
@@ -838,6 +866,7 @@ class MistTuner:
                         self.analyzers[group], self.space,
                         global_batch=global_batch, seq_len=self.seq_len,
                         max_pareto_points=self.max_pareto_points,
+                        engine=engine,
                     )
                 before_eval = tuner.evaluated
                 before_pre = tuner.prefiltered
@@ -940,7 +969,8 @@ class MistTuner:
     def _tune_pipeline(self, global_batch: int, num_stages: int,
                        stage_gpus: int, gacc: int,
                        layer_counts: list[int],
-                       assignment: "tuple[StageSlot, ...] | None" = None):
+                       assignment: "tuple[StageSlot, ...] | None" = None,
+                       *, engine: str = "vectorized"):
         """Solve one (S, G) candidate (exhaustive reference path).
 
         Returns ``(solution, evaluated)`` where ``evaluated`` is the
@@ -952,10 +982,12 @@ class MistTuner:
         """
         if assignment is not None:
             return self._tune_pipeline_hetero(global_batch, gacc,
-                                              layer_counts, assignment)
+                                              layer_counts, assignment,
+                                              engine=engine)
         intra = IntraStageTuner(
             self.analyzer, self.space, global_batch=global_batch,
             seq_len=self.seq_len, max_pareto_points=self.max_pareto_points,
+            engine=engine,
         )
 
         if num_stages == 1:
@@ -989,7 +1021,8 @@ class MistTuner:
 
     def _tune_pipeline_hetero(self, global_batch: int, gacc: int,
                               layer_counts: list[int],
-                              assignment: "tuple[StageSlot, ...]"):
+                              assignment: "tuple[StageSlot, ...]",
+                              *, engine: str = "vectorized"):
         """Solve one heterogeneous (assignment, G) candidate.
 
         Stage menus come from the analyzer of the stage's device group,
@@ -1006,6 +1039,7 @@ class MistTuner:
                 self.analyzers[name], self.space, global_batch=global_batch,
                 seq_len=self.seq_len,
                 max_pareto_points=self.max_pareto_points,
+                engine=engine,
             )
             for name in {slot.group for slot in assignment}
         }

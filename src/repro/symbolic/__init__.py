@@ -40,7 +40,14 @@ from .expr import (
     smin,
     substitute,
 )
-from .evaluate import CompiledExpr, EvaluationError, compile_expr, evaluate
+from .evaluate import (
+    ENGINES,
+    CompiledExpr,
+    EvaluationError,
+    compile_expr,
+    evaluate,
+    validate_engine,
+)
 from .simplify import collect_terms, count_nodes, simplify
 from .symbols import SymbolManager, global_symbol_manager
 
@@ -51,6 +58,7 @@ __all__ = [
     "CompiledExpr",
     "Const",
     "Div",
+    "ENGINES",
     "EqCmp",
     "EvaluationError",
     "Expr",
@@ -82,4 +90,5 @@ __all__ = [
     "smax",
     "smin",
     "substitute",
+    "validate_engine",
 ]

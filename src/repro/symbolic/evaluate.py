@@ -44,11 +44,41 @@ from .expr import (
 
 ArrayLike = Union[int, float, np.ndarray]
 
-__all__ = ["evaluate", "compile_expr", "CompiledExpr", "EvaluationError"]
+__all__ = [
+    "ENGINES",
+    "evaluate",
+    "compile_expr",
+    "CompiledExpr",
+    "EvaluationError",
+    "validate_engine",
+]
+
+#: Recognised cost-model evaluation engines. ``vectorized`` runs the
+#: compiled numpy closures over whole config menus at once; ``interpreted``
+#: walks the raw expression trees one config at a time and exists as the
+#: reference path for differential testing.
+ENGINES = ("vectorized", "interpreted")
+
+
+def validate_engine(engine: str) -> str:
+    """Return ``engine`` if it names a known evaluation engine."""
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {list(ENGINES)}"
+        )
+    return engine
 
 
 class EvaluationError(RuntimeError):
     """Raised when an expression references a symbol missing from the env."""
+
+
+def _describe_root(expr: Expr, limit: int = 80) -> str:
+    """A short human-readable label for an expression root."""
+    text = repr(expr)
+    if len(text) > limit:
+        text = text[: limit - 3] + "..."
+    return text
 
 
 _CMP_FUNCS = {
@@ -79,8 +109,10 @@ def evaluate(expr: Expr, env: Mapping[str, ArrayLike]) -> ArrayLike:
             try:
                 result = env[node.name]
             except KeyError:
+                missing = sorted(free_symbols(expr) - set(env))
                 raise EvaluationError(
-                    f"symbol {node.name!r} not provided; expression needs "
+                    f"missing symbol values {missing} for expression "
+                    f"{_describe_root(expr)}; expression needs "
                     f"{sorted(free_symbols(expr))}"
                 ) from None
         elif isinstance(node, Add):
@@ -135,24 +167,76 @@ class CompiledExpr:
     vocabulary (e.g. the memory-only pre-filter over the full analyzer
     symbol set) can consult it to build only the needed columns; the
     unused arguments may be passed as anything cheap (``0.0``).
+
+    Two evaluation entry points share the argument contract:
+
+    * ``__call__`` — the vectorized path: one pass of the generated numpy
+      statements over the whole env (scalars or arrays, broadcasting).
+    * :meth:`interpret` — the per-config reference path: walks the raw
+      expression trees row by row through :func:`evaluate`. Slow by
+      design; it anchors the differential tests proving the vectorized
+      path is bit-identical.
     """
 
     def __init__(self, func: Callable, arg_names: tuple[str, ...], n_outputs: int,
                  source: str,
-                 used_symbols: frozenset[str] | None = None) -> None:
+                 used_symbols: frozenset[str] | None = None,
+                 exprs: tuple[Expr, ...] = (),
+                 single: bool | None = None) -> None:
         self._func = func
         self.arg_names = arg_names
         self.n_outputs = n_outputs
         self.source = source
         self.used_symbols = (frozenset(arg_names) if used_symbols is None
                              else used_symbols)
+        self.exprs = exprs
+        self._single = n_outputs == 1 if single is None else single
 
-    def __call__(self, **env: ArrayLike) -> Any:
+    def _check_env(self, env: Mapping[str, ArrayLike]) -> None:
         missing = [name for name in self.arg_names if name not in env]
         if missing:
             raise EvaluationError(f"missing symbol values: {missing}")
+
+    def __call__(self, **env: ArrayLike) -> Any:
+        self._check_env(env)
         args = [env[name] for name in self.arg_names]
         return self._func(*args)
+
+    def interpret(self, **env: ArrayLike) -> Any:
+        """Evaluate via the per-row interpreted reference path.
+
+        Each row of the (broadcast) environment is evaluated as an
+        independent scalar query against the raw expression trees.  The
+        result matches ``__call__`` bit for bit — numpy's elementwise
+        ufuncs produce identical IEEE-754 results whether applied to one
+        element or a million — which is exactly the property the
+        differential test harness asserts.
+        """
+        self._check_env(env)
+        if not self.exprs:
+            raise EvaluationError(
+                "interpret() needs the raw expression trees; this "
+                "CompiledExpr was built without them")
+        used = {name: np.asarray(env[name], dtype=float)
+                for name in self.arg_names if name in self.used_symbols}
+        shapes = [value.shape for value in used.values()]
+        shape = np.broadcast_shapes(*shapes) if shapes else ()
+        if shape == ():
+            scalar_env = {name: float(value) for name, value in used.items()}
+            outs = [evaluate(expr, scalar_env) for expr in self.exprs]
+        else:
+            cols = {name: np.broadcast_to(value, shape).reshape(-1)
+                    for name, value in used.items()}
+            n = int(np.prod(shape, dtype=int))
+            rows: list[list[float]] = [[] for _ in self.exprs]
+            for i in range(n):
+                row_env = {name: col[i] for name, col in cols.items()}
+                for k, expr in enumerate(self.exprs):
+                    rows[k].append(evaluate(expr, row_env))
+            outs = [np.asarray(values).reshape(shape) for values in rows]
+        if self._single:
+            return outs[0]
+        return tuple(outs)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -259,4 +343,5 @@ def compile_expr(exprs: Union[Expr, Sequence[Expr]],
     exec(compile(source, "<repro.symbolic.compiled>", "exec"), namespace)
     func = namespace["_compiled"]
     return CompiledExpr(func, arg_names, len(expr_list), source,
-                        used_symbols=frozenset(all_syms) & set(arg_names))
+                        used_symbols=frozenset(all_syms) & set(arg_names),
+                        exprs=tuple(expr_list), single=single)

@@ -1,0 +1,285 @@
+"""Differential harness: vectorized vs interpreted evaluation bit-identity.
+
+The vectorized cost-model engine's contract is *bit-identity*, not mere
+closeness: for the same expression and the same IEEE-754 inputs the
+compiled numpy path must produce the exact bits the per-row interpreter
+produces, because the tuner's plan hashes and tie-breaks flow through
+these floats unchanged. The tests here attack that contract from two
+directions:
+
+* **expression level** — seeded random expression trees evaluated four
+  ways (batched interpreter, per-row scalar interpreter, scalar
+  compiled calls, whole-array compiled call) must agree bit for bit,
+  including NaN/inf propagation, empty menus and length-1 menus;
+* **search level** — ``MistTuner.search(engine=...)`` must return
+  byte-identical plans and identical work counters across engines, with
+  prune on and off, on homogeneous *and* heterogeneous clusters.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.benchmarking import plan_hash
+from repro.core import NAMED_SPACES, MenuMemo, MistTuner
+from repro.evaluation import calibrated_interference
+from repro.evaluation.workloads import get_scale
+from repro.hardware import DeviceGroup, HeterogeneousCluster, make_cluster
+from repro.models import get_model
+from repro.symbolic import (
+    ENGINES,
+    EvaluationError,
+    Lt,
+    Piecewise,
+    Sym,
+    as_expr,
+    ceil_div,
+    compile_expr,
+    evaluate,
+    smax,
+    smin,
+    validate_engine,
+)
+
+SYMBOL_NAMES = ("x", "y", "z")
+SYMS = tuple(Sym(name) for name in SYMBOL_NAMES)
+
+
+# ---------------------------------------------------------------------------
+# seeded random expression trees
+# ---------------------------------------------------------------------------
+
+def _random_expr(rng: random.Random, depth: int):
+    """A random expression tree over x, y, z covering every node kind."""
+    if depth <= 0 or rng.random() < 0.25:
+        roll = rng.random()
+        if roll < 0.5:
+            return rng.choice(SYMS)
+        if roll < 0.8:
+            return as_expr(rng.choice([-7, -2, 0, 1, 2, 3, 8, 64]))
+        return as_expr(rng.uniform(-50.0, 50.0))
+    a = _random_expr(rng, depth - 1)
+    b = _random_expr(rng, depth - 1)
+    ops = [
+        lambda: a + b,
+        lambda: a - b,
+        lambda: a * b,
+        lambda: a / (b + 13),          # shift, not avoid: zero still possible
+        lambda: a // 3,
+        lambda: a % 5,
+        lambda: smax(a, b),
+        lambda: smin(a, b),
+        lambda: ceil_div(a, 4),
+        lambda: Piecewise.make(Lt(a, b), a + 1, b * 2),
+    ]
+    return rng.choice(ops)()
+
+
+def _random_env(rng: random.Random, n: int, special: bool) -> dict:
+    """A batched env of ``n`` rows; sprinkles NaN/inf when ``special``."""
+    env = {}
+    for name in SYMBOL_NAMES:
+        col = np.asarray(
+            [rng.uniform(-100.0, 100.0) for _ in range(n)], dtype=float
+        ).reshape(n)
+        if special and n:
+            for value in (np.nan, np.inf, -np.inf):
+                col[rng.randrange(n)] = value
+        env[name] = col
+    return env
+
+
+def _bit_identical(a, b) -> bool:
+    """Exact float64 equality, NaN == NaN (bitwise contract)."""
+    return np.array_equal(
+        np.asarray(a, dtype=float), np.asarray(b, dtype=float), equal_nan=True
+    )
+
+
+def _describe(expr, env, lhs, rhs, what: str) -> str:
+    return (f"{what} diverged for {expr!r}\n env={env}\n"
+            f" lhs={np.asarray(lhs)!r}\n rhs={np.asarray(rhs)!r}")
+
+
+class TestExpressionDifferential:
+    """Four evaluation paths agree bitwise on seeded random trees."""
+
+    @pytest.mark.parametrize("seed", range(40))
+    @pytest.mark.parametrize("n", [0, 1, 7])
+    def test_paths_agree_elementwise(self, seed, n):
+        rng = random.Random(0xD1FF + seed)
+        expr = _random_expr(rng, depth=4)
+        env = _random_env(rng, n, special=seed % 2 == 0)
+        fn = compile_expr(expr, arg_names=SYMBOL_NAMES)
+
+        with np.errstate(all="ignore"):
+            batched = np.broadcast_to(
+                np.asarray(evaluate(expr, env), dtype=float), (n,)
+            )
+            vectorized = np.broadcast_to(
+                np.asarray(fn(**env), dtype=float), (n,)
+            )
+            ref = np.broadcast_to(
+                np.asarray(fn.interpret(**env), dtype=float), (n,)
+            )
+            scalar = np.asarray(
+                [fn(**{k: float(v[i]) for k, v in env.items()})
+                 for i in range(n)],
+                dtype=float,
+            ).reshape(n)
+
+        assert _bit_identical(vectorized, batched), _describe(
+            expr, env, vectorized, batched, "compiled-array vs interpreter")
+        assert _bit_identical(vectorized, ref), _describe(
+            expr, env, vectorized, ref, "compiled-array vs interpret()")
+        assert _bit_identical(vectorized, scalar), _describe(
+            expr, env, vectorized, scalar, "compiled-array vs scalar calls")
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_scalar_env_returns_scalar(self, seed):
+        rng = random.Random(0xBEEF + seed)
+        expr = _random_expr(rng, depth=3)
+        env = {name: rng.uniform(-10.0, 10.0) for name in SYMBOL_NAMES}
+        fn = compile_expr(expr, arg_names=SYMBOL_NAMES)
+        with np.errstate(all="ignore"):
+            direct = fn(**env)
+            ref = fn.interpret(**env)
+        assert np.ndim(ref) == 0
+        assert _bit_identical(direct, ref)
+
+    def test_multi_output_interpret_matches_call(self):
+        x, y, z = SYMS
+        exprs = [x + y * z, smax(x, y) / (z + 13), ceil_div(x * y, 4)]
+        fn = compile_expr(exprs, arg_names=SYMBOL_NAMES)
+        env = {
+            "x": np.array([1.0, -3.5, np.inf]),
+            "y": np.array([2.0, 0.25, -1.0]),
+            "z": np.array([-4.0, np.nan, 9.0]),
+        }
+        with np.errstate(all="ignore"):
+            called = fn(**env)
+            interpreted = fn.interpret(**env)
+        assert isinstance(called, tuple) and isinstance(interpreted, tuple)
+        assert len(called) == len(interpreted) == len(exprs)
+        for got, want in zip(interpreted, called):
+            assert _bit_identical(got, want)
+
+    def test_broadcasting_matches(self):
+        # scalar + array env rows broadcast identically on both paths
+        x, y, z = SYMS
+        fn = compile_expr(x * y + z, arg_names=SYMBOL_NAMES)
+        env = {"x": 3.0, "y": np.array([1.0, 2.0, 4.0]), "z": -1.5}
+        assert _bit_identical(fn.interpret(**env), fn(**env))
+
+
+class TestEvaluationErrors:
+    def test_missing_symbols_all_reported_with_root(self):
+        x, y, z = SYMS
+        expr = x + y * z
+        with pytest.raises(EvaluationError) as exc:
+            evaluate(expr, {"y": 2.0})
+        message = str(exc.value)
+        # every missing name, not just the first one encountered
+        assert "'x'" in message and "'z'" in message
+        assert "'y'" not in message.split(";")[0]
+        # and the expression root so the caller knows *which* formula
+        assert "(x + (y * z))" in message or "x" in message
+
+    def test_interpret_requires_raw_trees(self):
+        from repro.symbolic.evaluate import CompiledExpr
+
+        bare = CompiledExpr(lambda a: a, ("x",), 1, "def _compiled(a): ...")
+        with pytest.raises(EvaluationError, match="raw expression trees"):
+            bare.interpret(x=1.0)
+
+    def test_validate_engine(self):
+        assert validate_engine("vectorized") == "vectorized"
+        assert validate_engine("interpreted") == "interpreted"
+        with pytest.raises(ValueError, match="interpreted"):
+            validate_engine("turbo")
+        assert set(ENGINES) == {"vectorized", "interpreted"}
+
+
+# ---------------------------------------------------------------------------
+# search-level differential: whole tuner runs, both engines
+# ---------------------------------------------------------------------------
+
+SMOKE = get_scale("smoke")
+
+
+def _mixed_cluster() -> HeterogeneousCluster:
+    return HeterogeneousCluster(groups=(
+        DeviceGroup("a100", make_cluster("A100-40GB", 1, 2)),
+        DeviceGroup("l4", make_cluster("L4", 1, 2)),
+    ))
+
+
+def _make_tuner(cluster, space: str) -> MistTuner:
+    pcie_only = True
+    if not isinstance(cluster, HeterogeneousCluster):
+        pcie_only = not cluster.gpu.has_nvlink
+    return MistTuner(
+        get_model("gpt3-1.3b"), cluster, seq_len=2048,
+        space=SMOKE.apply(NAMED_SPACES[space]),
+        interference=calibrated_interference(pcie_only),
+        max_pareto_points=SMOKE.max_pareto_points,
+        max_gacc_candidates=SMOKE.max_gacc_candidates,
+    )
+
+
+def _plan_bytes(plan):
+    return None if plan is None else plan.to_json()
+
+
+class TestSearchDifferential:
+    """Engines are interchangeable: same plans, same work accounting.
+
+    Spaces are kept small ('3d', '3d-ckpt') because the interpreted
+    reference path costs ~5ms per configuration by design.
+    """
+
+    @pytest.mark.parametrize("prune", [False, True],
+                             ids=["exhaustive", "pruned"])
+    @pytest.mark.parametrize("cluster_kind", ["homogeneous", "heterogeneous"])
+    def test_engines_bit_identical(self, cluster_kind, prune):
+        cluster = (make_cluster("L4", 1, 2) if cluster_kind == "homogeneous"
+                   else _mixed_cluster())
+        tuner = _make_tuner(cluster, "3d-ckpt")
+        results = {}
+        for engine in ENGINES:
+            results[engine] = tuner.search(
+                16, keep_top=3, prune=prune,
+                memo=MenuMemo() if prune else None, engine=engine)
+
+        vec, ref = results["vectorized"], results["interpreted"]
+        assert _plan_bytes(vec.best_plan) == _plan_bytes(ref.best_plan)
+        assert [_plan_bytes(p) for p in vec.top_plans] \
+            == [_plan_bytes(p) for p in ref.top_plans]
+        assert plan_hash(vec.best_plan) == plan_hash(ref.best_plan)
+        assert vec.predicted_iteration_time == ref.predicted_iteration_time
+        assert vec.predicted_throughput == ref.predicted_throughput
+        # the engine may not change how much work is *counted*
+        assert vec.configurations_evaluated == ref.configurations_evaluated
+        assert vec.stats.configs_prefiltered == ref.stats.configs_prefiltered
+        assert vec.stats.engine == "vectorized"
+        assert ref.stats.engine == "interpreted"
+
+    def test_memo_entries_are_engine_scoped(self):
+        # a warm memo from one engine must not replay into the other:
+        # cross-engine hits would mask exactly the divergence this
+        # harness exists to catch
+        tuner = _make_tuner(make_cluster("L4", 1, 2), "3d")
+        memo = MenuMemo()
+        vec = tuner.search(16, memo=memo, engine="vectorized")
+        ref = tuner.search(16, memo=memo, engine="interpreted")
+        assert ref.stats.memo_hits == 0
+        assert ref.stats.memo_misses > 0
+        assert _plan_bytes(vec.best_plan) == _plan_bytes(ref.best_plan)
+
+    def test_unknown_engine_rejected_before_any_work(self):
+        tuner = _make_tuner(make_cluster("L4", 1, 2), "3d")
+        with pytest.raises(ValueError, match="unknown engine"):
+            tuner.search(16, engine="numba")

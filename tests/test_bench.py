@@ -10,6 +10,7 @@ import pytest
 from repro.benchmarking import (
     BENCH_SCHEMA,
     check_against_baseline,
+    check_engine_speedup,
     format_bench,
     run_bench,
     validate_bench,
@@ -27,7 +28,8 @@ class TestSnapshot:
         assert snapshot["schema"] == BENCH_SCHEMA
         assert snapshot["scale"] == "smoke"
         assert set(snapshot["benchmarks"]) == {
-            "fig16_tuning_time", "fig16_exhaustive_reference"}
+            "fig16_tuning_time", "fig16_exhaustive_reference",
+            "fig16_interpreted_engine"}
         pruned = snapshot["benchmarks"]["fig16_tuning_time"]
         assert pruned["wall_time_seconds"] > 0
         assert pruned["per_space"]
@@ -43,6 +45,14 @@ class TestSnapshot:
         assert snapshot["derived"]["plans_match_exhaustive"]
         assert snapshot["derived"]["fig16_speedup"] > 0
 
+    def test_engine_comparison_recorded(self, snapshot):
+        assert snapshot["derived"]["plans_match_interpreted"]
+        assert snapshot["derived"]["fig16_engine_speedup"] > 1.0
+        interpreted = snapshot["benchmarks"]["fig16_interpreted_engine"]
+        assert interpreted["engine"] == "interpreted"
+        assert snapshot["benchmarks"]["fig16_tuning_time"]["engine"] \
+            == "vectorized"
+
     def test_counters_nonzero(self, snapshot):
         stats = snapshot["benchmarks"]["fig16_tuning_time"]["stats"]
         assert stats["cells_pruned"] > 0
@@ -54,6 +64,15 @@ class TestSnapshot:
         text = format_bench(snapshot)
         assert "fig16_tuning_time" in text
         assert "speedup vs exhaustive" in text
+        assert "vectorized vs interpreted engine" in text
+
+    def test_interpreted_pass_is_optional(self):
+        trimmed = run_bench("smoke", include_exhaustive=False,
+                            include_interpreted=False)
+        assert set(trimmed["benchmarks"]) == {"fig16_tuning_time"}
+        assert "fig16_engine_speedup" not in trimmed["derived"]
+        # no comparison data: the speedup gate passes vacuously
+        assert check_engine_speedup(trimmed, min_speedup=2.0) == []
 
 
 class TestGates:
@@ -98,6 +117,33 @@ class TestGates:
         tiny_cur["benchmarks"]["fig16_tuning_time"][
             "wall_time_seconds"] = 0.3
         assert check_against_baseline(tiny_cur, tiny_base) == []
+
+    def test_engine_plan_drift_fails_validation(self, snapshot):
+        tampered = copy.deepcopy(snapshot)
+        hashes = tampered["benchmarks"]["fig16_interpreted_engine"][
+            "plan_hashes"]
+        space = next(iter(hashes))
+        hashes[space] = "deadbeefdeadbeef"
+        tampered["derived"]["plans_match_interpreted"] = False
+        problems = validate_bench(tampered)
+        assert any("interpreted engine" in p and space in p
+                   for p in problems)
+
+    def test_engine_counter_mismatch_fails_validation(self, snapshot):
+        tampered = copy.deepcopy(snapshot)
+        tampered["benchmarks"]["fig16_interpreted_engine"]["stats"][
+            "configs_evaluated"] += 1
+        problems = validate_bench(tampered)
+        assert any("engine-deterministic" in p for p in problems)
+
+    def test_engine_speedup_gate(self, snapshot):
+        assert check_engine_speedup(snapshot, min_speedup=2.0) == []
+        slow = copy.deepcopy(snapshot)
+        slow["derived"]["fig16_engine_speedup"] = 1.5
+        problems = check_engine_speedup(slow, min_speedup=2.0)
+        assert len(problems) == 1 and "1.50x" in problems[0]
+        # an explicit 0 disables the gate
+        assert check_engine_speedup(slow, min_speedup=0.0) == []
 
     def test_scale_mismatch_fails(self, snapshot):
         other = copy.deepcopy(snapshot)
