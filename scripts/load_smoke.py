@@ -34,6 +34,10 @@ sys.path.insert(0, str(ROOT / "src"))
 
 from repro.api import PlanCache, solve  # noqa: E402
 from repro.benchmarking import plan_hash  # noqa: E402
+from repro.benchmarking.artifacts import (  # noqa: E402
+    LOAD_ARTIFACT,
+    LOAD_BASELINE,
+)
 from repro.cli import main as cli_main  # noqa: E402
 from repro.loadgen import (  # noqa: E402
     TRACE_SCALES,
@@ -43,7 +47,8 @@ from repro.loadgen import (  # noqa: E402
 )
 from repro.service import Client, spawn_daemon  # noqa: E402
 
-BASELINE = ROOT / "benchmarks" / "baselines" / "LOAD_smoke.json"
+# canonical names shared with the CLI defaults and the CI upload step
+BASELINE = ROOT / LOAD_BASELINE
 
 
 def _gated_cli_run(url: str, out: Path) -> int:
@@ -72,7 +77,7 @@ def _synthetic_rps(workers: int, worker_mode: str) -> float:
 
 
 def main() -> int:
-    out = Path("LOAD_7.json")
+    out = Path(LOAD_ARTIFACT)
     with tempfile.TemporaryDirectory(prefix="repro-load-") as cache_dir:
         with spawn_daemon(workers=2, cache_dir=cache_dir) as daemon:
             print(f"daemon at {daemon.url} (2 thread workers)")

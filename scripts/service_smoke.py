@@ -19,7 +19,10 @@ an ephemeral port with a throwaway plan-cache directory, then:
    the duplicate must coalesce onto one in-flight search (per-cell
    `coalesced` flag + /metrics); repeats the campaign and asserts both
    cells are answered from the plan cache with no new invocation;
-6. shuts the daemon down.
+6. POSTs ``/replan`` with a degraded-link delta: the daemon must
+   warm-start from the cached incumbent plan and answer within the
+   latency budget (per the ``/metrics`` ``replan`` section);
+7. shuts the daemon down.
 
 Exit code 0 on success. Runs in ~10s.
 
@@ -38,6 +41,7 @@ ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
 from repro.api import TuningJob  # noqa: E402
+from repro.hardware import ClusterDelta  # noqa: E402
 from repro.service import Client, spawn_daemon  # noqa: E402
 
 JOB = TuningJob(model="gpt3-1.3b", gpu="L4", num_gpus=4, global_batch=16,
@@ -133,6 +137,20 @@ def main() -> int:
             assert metrics["campaigns"]["submitted"] == 2, metrics
             print("campaign cache: repeat batch served with no new "
                   "invocation")
+
+            # elastic replan: POST /replan warm-starts from the plan
+            # the cache already holds for JOB and answers in-budget
+            rec = client.replan(JOB, ClusterDelta.degrade_link(0.5),
+                                budget_seconds=120)
+            assert rec["status"] == "done", rec
+            extra = rec["report"]["extra"]["replan"]
+            assert extra["warm"] is True, rec
+            metrics = client.metrics()
+            assert metrics["replan"]["requests"] == 1, metrics
+            assert metrics["replan"]["warm"] == 1, metrics
+            assert metrics["replan"]["within_budget"] == 1, metrics
+            print("replan: warm-started from the incumbent, "
+                  "answered within budget")
     print("service smoke: OK")
     return 0
 

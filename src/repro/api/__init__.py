@@ -15,8 +15,9 @@ The stable surface every tuning backend plugs into::
 
 See :mod:`repro.api.job` (inputs), :mod:`repro.api.report` (outputs),
 :mod:`repro.api.registry` (the ``@register_solver`` protocol),
-:mod:`repro.api.solvers` (built-in backends), and
-:mod:`repro.api.cache` (fingerprint-keyed on-disk plan cache).
+:mod:`repro.api.solvers` (built-in backends),
+:mod:`repro.api.cache` (fingerprint-keyed on-disk plan cache), and
+:mod:`repro.api.replan` (elastic re-tuning after a cluster change).
 """
 
 from .cache import PlanCache, default_cache_dir
@@ -29,6 +30,7 @@ from .registry import (
     solver_names,
     solver_registry,
 )
+from .replan import delta_job, replan
 from .report import SolveReport
 from .solvers import (
     AcesoSolver,  # repro: allow[registry-discipline] public API re-export
@@ -52,8 +54,10 @@ __all__ = [
     "TuningJob",
     "UniformSolver",
     "default_cache_dir",
+    "delta_job",
     "get_solver",
     "register_solver",
+    "replan",
     "solve",
     "solver_names",
     "solver_registry",

@@ -38,6 +38,7 @@ from repro.baselines import (
     UniformHeuristicTuner,
 )
 from repro.core import MistTuner
+from repro.core.plan import TrainingPlan
 from repro.core.tuner import SearchCancelled
 from repro.evaluation.runner import calibrated_interference
 from repro.execution import ExecutionEngine, IterationResult, OOMError
@@ -113,30 +114,60 @@ class MistSolver:
     cooperatively (raising :class:`~repro.core.tuner.SearchCancelled`).
     """
 
-    def solve(self, job: TuningJob, *,
-              progress: "Callable[[int, int], None] | None" = None,
-              should_stop: "Callable[[], bool] | None" = None
-              ) -> SolveReport:
+    def make_tuner(self, job: TuningJob) -> MistTuner:
+        """The configured :class:`MistTuner` for one job (shared by
+        :meth:`solve` and :meth:`replan`)."""
         spec = job.workload
-        cluster = spec.cluster  # ClusterSpec or HeterogeneousCluster
         scale = job.resolved_scale()
-        space = scale.apply(job.resolved_space())
-        tuner = MistTuner(
-            spec.model, cluster, seq_len=spec.seq_len,
-            flash=spec.flash, space=space,
+        return MistTuner(
+            spec.model, spec.cluster, seq_len=spec.seq_len,
+            flash=spec.flash, space=scale.apply(job.resolved_space()),
             interference=_job_interference(job),
             max_pareto_points=scale.max_pareto_points,
             max_gacc_candidates=scale.max_gacc_candidates,
         )
+
+    def solve(self, job: TuningJob, *,
+              progress: "Callable[[int, int], None] | None" = None,
+              should_stop: "Callable[[], bool] | None" = None
+              ) -> SolveReport:
+        tuner = self.make_tuner(job)
         tuning = tuner.search(job.global_batch,
                               parallelism=job.parallelism,
                               keep_top=job.keep_top,
                               engine=job.engine,
                               progress=progress, should_stop=should_stop)
+        return self._report(job, tuning)
+
+    def replan(self, job: TuningJob, incumbent: "TrainingPlan", *,
+               progress: "Callable[[int, int], None] | None" = None,
+               should_stop: "Callable[[], bool] | None" = None
+               ) -> SolveReport:
+        """Warm-started solve of ``job`` from an ``incumbent`` plan.
+
+        ``job`` already describes the *changed* cluster (see
+        :func:`repro.api.replan.delta_job`); ``incumbent`` is the plan
+        that was running before the change. The predicted winner is
+        bit-identical to :meth:`solve` on the same job, reached with
+        fewer configuration evaluations; ``keep_top`` is forced to 1 —
+        a replan wants *the* plan fast, so only the winner is executed
+        (set up a cold :meth:`solve` for a full top-k comparison).
+        """
+        tuner = self.make_tuner(job)
+        tuning = tuner.replan(job.global_batch, incumbent=incumbent,
+                              parallelism=job.parallelism, keep_top=1,
+                              engine=job.engine,
+                              progress=progress, should_stop=should_stop)
+        return self._report(job, tuning)
+
+    def _report(self, job: TuningJob, tuning: Any) -> SolveReport:
         # Execute the top predicted plans and keep the best measured one
         # (the artifact's benchmark-one-case step, which absorbs the
         # winner's-curse bias of the argmin over noisy predictions).
-        engine = ExecutionEngine(cluster, system="mist")
+        spec = job.workload
+        scale = job.resolved_scale()
+        space = scale.apply(job.resolved_space())
+        engine = ExecutionEngine(spec.cluster, system="mist")
         result = None
         best_plan = None
         for plan in tuning.top_plans or (

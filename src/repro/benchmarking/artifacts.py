@@ -1,0 +1,22 @@
+"""Canonical artifact filenames for the perf/load harnesses.
+
+The single place CI steps, smoke scripts, and CLI defaults agree on —
+renaming an artifact here is the only way to rename it anywhere, so an
+upload step can never silently stop matching what the harness wrote.
+Kept dependency-free so ``repro.cli`` and ``scripts/`` can import the
+names without loading the bench machinery.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BENCH_ARTIFACT", "BENCH_BASELINE",
+           "LOAD_ARTIFACT", "LOAD_BASELINE"]
+
+#: the ``repro bench`` output artifact (CI perf job uploads this name;
+#: keep .github/workflows/ci.yml in sync — tests assert the defaults)
+BENCH_ARTIFACT = "BENCH_4.json"
+#: the ``repro load`` output artifact (CI load-smoke job uploads this)
+LOAD_ARTIFACT = "LOAD_7.json"
+#: committed smoke-scale baselines the CI gates compare against
+BENCH_BASELINE = "benchmarks/baselines/BENCH_smoke.json"
+LOAD_BASELINE = "benchmarks/baselines/LOAD_smoke.json"

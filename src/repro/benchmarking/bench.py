@@ -10,13 +10,16 @@ One invocation produces a ``BENCH_4.json`` document::
       "benchmarks": {
         "fig16_tuning_time":          {... pruned search, vectorized ...},
         "fig16_exhaustive_reference": {... exhaustive search path ...},
-        "fig16_interpreted_engine":   {... pruned search, interpreted ...}
+        "fig16_interpreted_engine":   {... pruned search, interpreted ...},
+        "fig_replan":                 {... warm-vs-cold replan pass ...}
       },
       "derived": {
         "fig16_speedup": <exhaustive wall / pruned wall>,
         "plans_match_exhaustive": true,
         "fig16_engine_speedup": <interpreted wall / pruned wall>,
-        "plans_match_interpreted": true
+        "plans_match_interpreted": true,
+        "fig_replan_speedup": <geomean cold/warm configs evaluated>,
+        "replan_plans_match": true
       }
     }
 
@@ -45,9 +48,11 @@ from repro import __version__
 from repro.evaluation.workloads import get_scale
 
 from .fig16 import measure_fig16, plan_hash
+from .fig_replan import measure_replan
 
 __all__ = ["BENCH_SCHEMA", "check_against_baseline", "check_engine_speedup",
-           "format_bench", "plan_hash", "run_bench", "validate_bench"]
+           "check_warm_speedup", "format_bench", "plan_hash", "run_bench",
+           "validate_bench"]
 
 BENCH_SCHEMA = "repro-bench/1"
 
@@ -57,18 +62,22 @@ REFERENCE_BENCH = "fig16_exhaustive_reference"
 #: the same pruned search, run through the per-config interpreted
 #: cost-model engine — the denominator of the vectorization speedup
 INTERPRETED_BENCH = "fig16_interpreted_engine"
+#: the warm-vs-cold elastic replan pass
+REPLAN_BENCH = "fig_replan"
 
 
 def run_bench(scale_name: str = "smoke", *,
               include_exhaustive: bool = True,
-              include_interpreted: bool = True) -> dict:
+              include_interpreted: bool = True,
+              include_replan: bool = True) -> dict:
     """Run the benchmark suite at ``scale_name`` and build the snapshot.
 
     ``include_exhaustive=False`` skips the exhaustive reference pass
     (and with it the plan-hash cross-check) — useful for quick local
     timing runs, never for the CI artifact. ``include_interpreted=False``
     likewise skips the interpreted-engine pass and with it the
-    vectorized-vs-interpreted comparison.
+    vectorized-vs-interpreted comparison; ``include_replan=False`` skips
+    the warm-vs-cold replan pass and its speedup gate.
     """
     scale = get_scale(scale_name)
     benchmarks: dict[str, dict] = {}
@@ -97,6 +106,11 @@ def run_bench(scale_name: str = "smoke", *,
         derived["plans_match_interpreted"] = (
             pruned["plan_hashes"] == interpreted["plan_hashes"]
         )
+    if include_replan:
+        benchmarks[REPLAN_BENCH] = measure_replan(scale)
+        replan = benchmarks[REPLAN_BENCH]
+        derived["fig_replan_speedup"] = replan["config_speedup_geomean"]
+        derived["replan_plans_match"] = replan["plans_match"]
     return {
         "schema": BENCH_SCHEMA,
         "scale": scale.name,
@@ -166,6 +180,31 @@ def validate_bench(result: dict) -> list[str]:
         memo_hits += parallel.get("memo_hits", 0)
     if memo_hits <= 0:
         problems.append("memoization recorded no hit across the suite")
+    replan = result["benchmarks"].get(REPLAN_BENCH)
+    if replan is not None:
+        if not replan.get("plans_match", False):
+            drifted = sorted(
+                name for name, entry in replan.get("scenarios", {}).items()
+                if not entry.get("plans_match", False)
+            )
+            problems.append(
+                "warm replan plans drifted from the cold search: "
+                + ", ".join(drifted)
+            )
+        if replan.get("warm_memo_hits", 0) <= 0:
+            problems.append(
+                "warm replans recorded no memo hit — unchanged-group "
+                "menu reuse across cluster deltas is broken"
+            )
+        unmatched = sorted(
+            name for name, entry in replan.get("scenarios", {}).items()
+            if not entry.get("warm", {}).get("matched", False)
+        )
+        if unmatched:
+            problems.append(
+                "replan could not locate the incumbent's (S, G) cell "
+                "on the delta'd cluster: " + ", ".join(unmatched)
+            )
     return problems
 
 
@@ -226,11 +265,42 @@ def check_engine_speedup(current: dict, *,
     return []
 
 
+def check_warm_speedup(current: dict, *,
+                       min_speedup: float = 2.0) -> list[str]:
+    """Warm-vs-cold replan speedup failures (empty = OK).
+
+    The gated quantity is the geometric mean of per-scenario
+    ``cold configs_evaluated / warm configs_evaluated`` ratios —
+    deterministic work counters, not wall time, so the gate cannot
+    flake with machine load. Applies only when the snapshot carries the
+    replan pass; ``include_replan=False`` snapshots pass vacuously.
+    """
+    speedup = current.get("derived", {}).get("fig_replan_speedup")
+    if speedup is None or min_speedup <= 0:
+        return []
+    if speedup < min_speedup:
+        return [
+            f"warm replan evaluates only {speedup:.2f}x fewer "
+            f"configurations than a cold search "
+            f"(gate: >= {min_speedup:.1f}x)"
+        ]
+    return []
+
+
 def format_bench(result: dict) -> str:
     """Human-readable summary of one snapshot."""
     lines = [f"repro bench — scale {result['scale']} "
              f"(schema {result['schema']})"]
     for name, bench in result["benchmarks"].items():
+        if "scenarios" in bench:
+            lines.append(f"  {name}: {bench['wall_time_seconds']:.2f}s")
+            for scen, entry in bench["scenarios"].items():
+                lines.append(
+                    f"    {scen:34s} {entry['config_speedup']:6.2f}x "
+                    f"fewer configs warm "
+                    f"[{entry['delta']}; identical="
+                    f"{entry['plans_match']}]")
+            continue
         lines.append(f"  {name}: {bench['wall_time_seconds']:.2f}s "
                      f"({bench['workload']})")
         for space, entry in bench["per_space"].items():
@@ -256,17 +326,23 @@ def format_bench(result: dict) -> str:
         lines.append(f"  vectorized vs interpreted engine: "
                      f"{derived['fig16_engine_speedup']:.2f}x  "
                      f"(plans match: {derived['plans_match_interpreted']})")
+    if "fig_replan_speedup" in derived:
+        lines.append(f"  warm replan vs cold search: "
+                     f"{derived['fig_replan_speedup']:.2f}x fewer configs "
+                     f"(plans match: {derived['replan_plans_match']})")
     return "\n".join(lines)
 
 
 def main_check(current: dict, baseline: dict | None, *,
                max_regression: float = 0.25,
-               min_engine_speedup: float = 0.0, out=None) -> int:
+               min_engine_speedup: float = 0.0,
+               min_warm_speedup: float = 0.0, out=None) -> int:
     """Apply all gates; print verdicts; return a process exit code."""
     out = out if out is not None else sys.stdout
     problems = validate_bench(current)
     problems += check_engine_speedup(current,
                                      min_speedup=min_engine_speedup)
+    problems += check_warm_speedup(current, min_speedup=min_warm_speedup)
     if baseline is not None:
         problems += check_against_baseline(
             current, baseline, max_regression=max_regression)

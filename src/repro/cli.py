@@ -6,6 +6,11 @@ Commands:
   the plan and measured throughput; ``--compare`` runs any other
   registered solvers on the same job; ``--cluster file.json`` tunes an
   explicit (possibly heterogeneous, mixed-GPU) cluster.
+* ``replan``   — elastic re-tuning: apply a ``ClusterDelta`` JSON
+  (nodes added/removed, a device group resized or retyped, a link
+  degraded) to a job's cluster and re-tune warm-started from the
+  incumbent plan — bit-identical to a cold search of the changed
+  cluster, at a fraction of the configurations evaluated.
 * ``sweep``    — run several solvers across a grid of model sizes and
   print the normalized-throughput table (Figs. 11/12 style); a thin
   wrapper over the campaign engine (``--executor process-pool``
@@ -71,12 +76,24 @@ from repro.api import (
     solve,
     solver_registry,
 )
+from repro.api import replan as api_replan
+from repro.benchmarking.artifacts import (
+    BENCH_ARTIFACT,
+    BENCH_BASELINE,
+    LOAD_ARTIFACT,
+)
 from repro.core.plan import uniform_plan
 from repro.core.spaces import NAMED_SPACES
 from repro.evaluation.reporting import format_throughput_rows
 from repro.evaluation.workloads import SCALES, WorkloadSpec
 from repro.execution import ExecutionEngine, OOMError, render_timeline
-from repro.hardware import HeterogeneousCluster, cluster_to_dict, load_cluster
+from repro.hardware import (
+    ClusterDelta,
+    DeltaError,
+    HeterogeneousCluster,
+    cluster_to_dict,
+    load_cluster,
+)
 from repro.models import get_model, list_models
 from repro.symbolic import ENGINES
 
@@ -249,6 +266,69 @@ def _cmd_tune(args) -> int:
                   f"({args.solver} is {ratio:.2f}x)")
         else:
             print(f"\n{system}: no feasible configuration")
+    return _finish(0)
+
+
+def _cmd_replan(args) -> int:
+    try:
+        job = _job(args)
+    except (JobValidationError, OSError, TypeError, ValueError,
+            KeyError) as exc:
+        detail = exc.args[0] if exc.args else exc
+        print(f"invalid job: {detail}")
+        return 2
+    try:
+        delta = ClusterDelta.from_json(Path(args.delta).read_text())
+    except (OSError, TypeError, ValueError, KeyError) as exc:
+        detail = exc.args[0] if exc.args else exc
+        print(f"invalid delta file: {detail}")
+        return 2
+    incumbent = None
+    if args.incumbent:
+        from repro.api import SolveReport
+
+        try:
+            incumbent = SolveReport.from_json(
+                Path(args.incumbent).read_text())
+        except (OSError, TypeError, ValueError, KeyError) as exc:
+            detail = exc.args[0] if exc.args else exc
+            print(f"invalid incumbent report: {detail}")
+            return 2
+    cache = _cache(args)
+    print(f"replanning {job.model} after {delta.describe()}, "
+          f"scale={args.scale}, solver={args.solver}")
+    try:
+        report = api_replan(job, delta, args.solver, cache=cache,
+                            incumbent=incumbent)
+    except SolverNotFoundError as exc:
+        print(exc.args[0])
+        return 2
+    except (DeltaError, JobValidationError) as exc:
+        # the delta doesn't fit this cluster, or the post-delta job
+        # fails validation
+        print(exc.args[0] if exc.args else exc)
+        return 2
+    reports = [report]
+
+    def _finish(code: int) -> int:
+        if args.json:
+            _write_json(args.json, reports)
+        return code
+
+    prov = report.extra.get("replan", {})
+    mode = "warm-started" if prov.get("warm") else "cold (no incumbent)"
+    origin = " (cached)" if report.from_cache else ""
+    print(f"{mode} replan, incumbent source: {prov.get('incumbent')}")
+    print(f"evaluated {report.configurations_evaluated} configurations "
+          f"in {report.tuning_time_seconds:.1f}s{origin}")
+    if report.plan is None:
+        print("no feasible plan found on the changed cluster")
+        return _finish(1)
+    print(report.plan.describe())
+    if report.measured:
+        print(f"\nmeasured: "
+              f"{report.measured['iteration_time'] * 1e3:.1f} ms "
+              f"/ {report.throughput:.2f} samples/s")
     return _finish(0)
 
 
@@ -501,10 +581,13 @@ def _cmd_bench(args) -> int:
           f"(exhaustive reference: "
           f"{'off' if args.no_exhaustive else 'on'}, "
           f"interpreted engine: "
-          f"{'off' if args.no_interpreted else 'on'}) ...")
+          f"{'off' if args.no_interpreted else 'on'}, "
+          f"replan suite: "
+          f"{'off' if args.no_replan else 'on'}) ...")
     result = run_bench(args.scale,
                        include_exhaustive=not args.no_exhaustive,
-                       include_interpreted=not args.no_interpreted)
+                       include_interpreted=not args.no_interpreted,
+                       include_replan=not args.no_replan)
     print(format_bench(result))
     with open(args.out, "w") as fh:
         json.dump(result, fh, sort_keys=True, indent=2)
@@ -518,12 +601,15 @@ def _cmd_bench(args) -> int:
         except (OSError, json.JSONDecodeError) as exc:
             print(f"cannot read baseline {args.baseline}: {exc}")
             return 2
-    if args.no_exhaustive and args.no_interpreted and baseline is None:
+    if args.no_exhaustive and args.no_interpreted and args.no_replan \
+            and baseline is None:
         return 0  # timing-only run: no gates to apply
     return main_check(result, baseline,
                       max_regression=args.max_regression,
                       min_engine_speedup=(0.0 if args.no_interpreted
-                                          else args.min_engine_speedup))
+                                          else args.min_engine_speedup),
+                      min_warm_speedup=(0.0 if args.no_replan
+                                        else args.min_warm_speedup))
 
 
 def _cmd_serve(args) -> int:
@@ -702,6 +788,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="render the executed 1F1B timeline")
     p_tune.set_defaults(func=_cmd_tune)
 
+    p_replan = sub.add_parser(
+        "replan", help="re-tune a job after a cluster change "
+                       "(warm-started from the incumbent plan)")
+    _add_workload_args(p_replan, gpus_required=False)
+    _add_solver_args(p_replan)
+    p_replan.add_argument("--cluster", metavar="FILE", default=None,
+                          help="pre-delta cluster description JSON; "
+                               "replaces --gpu/--gpus")
+    p_replan.add_argument("--delta", metavar="FILE", required=True,
+                          help='ClusterDelta JSON ({"ops": [...]}; '
+                               "see docs/API.md)")
+    p_replan.add_argument("--solver", default="mist",
+                          help="registered solver (warm-starting needs "
+                               "'mist'; others re-tune cold)")
+    p_replan.add_argument("--incumbent", metavar="FILE", default=None,
+                          help="solve-report JSON carrying the incumbent "
+                               "plan (e.g. from 'repro tune --json'); "
+                               "default: the --cache-dir entry for the "
+                               "pre-delta job")
+    p_replan.set_defaults(func=_cmd_replan)
+
     p_cluster = sub.add_parser(
         "cluster", help="inspect/validate a cluster description file")
     p_cluster.add_argument("file", help="cluster JSON "
@@ -774,11 +881,13 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the perf benchmark suite, emit BENCH_4.json")
     p_bench.add_argument("--scale", choices=sorted(SCALES), default="smoke",
                          help="benchmark scale preset (default: smoke)")
-    p_bench.add_argument("--out", metavar="FILE", default="BENCH_4.json",
-                         help="snapshot output path (default: BENCH_4.json)")
+    p_bench.add_argument("--out", metavar="FILE", default=BENCH_ARTIFACT,
+                         help=f"snapshot output path "
+                              f"(default: {BENCH_ARTIFACT})")
     p_bench.add_argument("--baseline", metavar="FILE", default=None,
                          help="committed baseline snapshot to gate "
-                              "wall-time against")
+                              f"wall-time against (CI uses "
+                              f"{BENCH_BASELINE})")
     p_bench.add_argument("--max-regression", type=float, default=0.25,
                          help="tolerated fractional wall-time regression "
                               "vs the baseline (default: 0.25)")
@@ -794,6 +903,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fail unless the vectorized engine beats "
                               "the interpreted reference by this factor "
                               "(default: 2.0; 0 disables)")
+    p_bench.add_argument("--no-replan", action="store_true",
+                         help="skip the warm-vs-cold replan suite "
+                              "(disables its bit-identity and speedup "
+                              "gates)")
+    p_bench.add_argument("--min-warm-speedup", type=float, default=2.0,
+                         metavar="FACTOR",
+                         help="fail unless warm replans beat cold "
+                              "searches by this factor (geometric mean "
+                              "of per-scenario configurations-evaluated "
+                              "ratios; default: 2.0; 0 disables)")
     p_bench.set_defaults(func=_cmd_bench)
 
     p_serve = sub.add_parser(
@@ -864,8 +983,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--timeout", type=float, default=120.0,
                         help="per-request completion timeout in seconds "
                              "(default: 120)")
-    p_load.add_argument("--out", metavar="FILE", default="LOAD_7.json",
-                        help="report output path (default: LOAD_7.json)")
+    p_load.add_argument("--out", metavar="FILE", default=LOAD_ARTIFACT,
+                        help=f"report output path "
+                             f"(default: {LOAD_ARTIFACT})")
     p_load.add_argument("--baseline", metavar="FILE", default=None,
                         help="committed baseline report to gate p99 "
                              "latency against")

@@ -15,9 +15,12 @@ queries by value substitution:
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.costmodel.interference import InterferenceModel
 from repro.execution.schedule import MIST_IMPL_OVERHEAD
@@ -153,11 +156,12 @@ class SymbolicPerformanceAnalyzer:
         """Per-GPU byte budget available to the plan (this device's)."""
         return memory_budget_bytes(self.gpu)
 
-    def hardware_env(self, dp, tp) -> dict[str, np.ndarray]:
+    def hardware_env(self, dp: npt.ArrayLike,
+                     tp: npt.ArrayLike) -> dict[str, np.ndarray]:
         """Bandwidth/latency symbol values for (possibly batched) dp, tp."""
         return hardware_env(self.cluster, dp, tp)
 
-    def build_env(self, **values) -> dict[str, np.ndarray]:
+    def build_env(self, **values: npt.ArrayLike) -> dict[str, np.ndarray]:
         """Full symbol environment: config values + derived hardware values."""
         env = {name: np.asarray(values[name], dtype=float)
                for name in values}
@@ -177,7 +181,7 @@ class SymbolicPerformanceAnalyzer:
     # -- prediction -------------------------------------------------------------
 
     @staticmethod
-    def _entry(fn: CompiledExpr, engine: str):
+    def _entry(fn: CompiledExpr, engine: str) -> Callable[..., Any]:
         """The evaluation entry point for ``engine`` on a compiled bundle.
 
         ``vectorized`` is the compiled numpy closure; ``interpreted`` is

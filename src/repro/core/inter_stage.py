@@ -36,7 +36,7 @@ import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 from scipy.sparse import lil_matrix
 
-from repro.hardware import HeterogeneousCluster
+from repro.hardware import DeviceGroup, HeterogeneousCluster
 
 from .intra_stage import ParetoPoint
 from .objectives import pipeline_iteration_time
@@ -103,7 +103,7 @@ def group_stage_assignments(cluster: HeterogeneousCluster,
     directions are enumerated. Assignments longer than
     ``max_total_stages`` (the model depth) are dropped.
     """
-    def options(group):
+    def options(group: DeviceGroup) -> list[int]:
         return [s for s in range(1, group.total_gpus + 1)
                 if group.total_gpus % s == 0]
 

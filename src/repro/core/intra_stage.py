@@ -345,7 +345,8 @@ class IntraStageTuner:
 
     # -- frontier extraction -------------------------------------------------------
 
-    def _pareto(self, entries) -> list[ParetoPoint]:
+    def _pareto(self, entries: list[tuple[float, float, float, StageConfig]],
+                ) -> list[ParetoPoint]:
         """Non-dominated (t, d) points, downsampled by the alpha-sweep.
 
         Extraction keeps every non-dominated point; when the frontier

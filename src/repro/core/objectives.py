@@ -18,6 +18,7 @@ Fig. 13/15 ablations) are provided alongside.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = [
     "pipeline_iteration_time",
@@ -27,7 +28,8 @@ __all__ = [
 ]
 
 
-def pipeline_iteration_time(t, d, gacc: int) -> float:
+def pipeline_iteration_time(t: npt.ArrayLike, d: npt.ArrayLike,
+                            gacc: int) -> float:
     """Imbalance-aware iteration time (Eq. 1). ``t``/``d`` per stage."""
     t = np.asarray(t, dtype=float)
     d = np.asarray(d, dtype=float)
@@ -40,7 +42,7 @@ def pipeline_iteration_time(t, d, gacc: int) -> float:
     return float((gacc - 1) * t.max() + t.sum() + max(exposed, 0.0))
 
 
-def pipeline_time_uniform(t, gacc: int) -> float:
+def pipeline_time_uniform(t: npt.ArrayLike, gacc: int) -> float:
     """Imbalance-unaware variant: every microbatch costs ``t_i``.
 
     This is the model used by planners that ignore first/last microbatch
@@ -50,7 +52,8 @@ def pipeline_time_uniform(t, gacc: int) -> float:
     return float((gacc - 1) * t.max() + t.sum())
 
 
-def pipeline_time_average(t, d, gacc: int) -> float:
+def pipeline_time_average(t: npt.ArrayLike, d: npt.ArrayLike,
+                          gacc: int) -> float:
     """Averaged-microbatch model (Shortcoming #3): spreads the deltas
     evenly across microbatches, mispredicting the bottleneck."""
     t = np.asarray(t, dtype=float)

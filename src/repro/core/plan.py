@@ -55,7 +55,7 @@ class StageConfig:
     #: device group hosting this stage ("" = the cluster's only kind)
     device_group: str = ""
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.layers < 0:
             raise PlanValidationError("layers must be >= 0")
         if self.microbatch < 1 or self.dp < 1 or self.tp < 1:
@@ -132,7 +132,7 @@ class TrainingPlan:
     source: str = "manual"
     metadata: dict = field(default_factory=dict, compare=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.gacc < 1:
             raise PlanValidationError("gradient accumulation steps must be >= 1")
         if not self.stages:
@@ -269,7 +269,7 @@ class TrainingPlan:
 
 def uniform_plan(model: ModelConfig, cluster: ClusterSpec, *, global_batch: int,
                  gacc: int, num_stages: int, dp: int, tp: int, zero: int = 0,
-                 ckpt_all: bool = False, **offloads) -> TrainingPlan:
+                 ckpt_all: bool = False, **offloads: float) -> TrainingPlan:
     """Helper: identical configuration for every stage (baseline style)."""
     if model.num_layers % num_stages != 0:
         raise PlanValidationError(

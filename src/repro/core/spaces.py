@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from typing import Any
 
 __all__ = [
     "SearchSpace",
@@ -74,7 +75,7 @@ class SearchSpace:
                    for grid in (self.oo_grid, self.ao_grid, self.go_grid,
                                 self.wo_grid))
 
-    def with_(self, **changes) -> "SearchSpace":
+    def with_(self, **changes: Any) -> "SearchSpace":
         return replace(self, **changes)
 
 

@@ -55,6 +55,14 @@ heterogeneous cluster is reduced to its plain
 :class:`~repro.hardware.ClusterSpec` and follows the homogeneous code
 path bit for bit.
 
+Elastic re-tuning: :meth:`MistTuner.replan` warm-starts the same
+pruned search from an incumbent plan after a cluster change
+(:class:`~repro.hardware.ClusterDelta`) — the incumbent's (S, G) cell
+is solved first, every later cell prunes against the best solved
+objective, and per-device-group memo scoping keeps menus of unchanged
+groups warm — while returning a ``best_plan`` bit-identical to a cold
+:meth:`MistTuner.search` of the new cluster.
+
 Deprecation: :meth:`MistTuner.tune` (the pre-registry entry point) has
 emitted :class:`DeprecationWarning` since v1.1 and will be removed in
 v2.0 — use :meth:`MistTuner.search` or :func:`repro.api.solve`.
@@ -68,7 +76,7 @@ import os
 import threading
 import time
 import warnings
-from collections.abc import Mapping
+from collections.abc import Callable, Mapping
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -89,6 +97,7 @@ from .inter_stage import (
 )
 from .intra_stage import (
     IntraStageTuner,
+    ParetoPoint,
     StageShape,
     stage_parallelism_options,
 )
@@ -142,6 +151,14 @@ class SearchStats:
     #: Megatron-style heuristic seed cell, when one was feasible:
     #: ``{"num_stages": S, "gacc": G, "objective": predicted}``
     seed: dict | None = None
+    #: True when the search was warm-started from an incumbent plan
+    #: (:meth:`MistTuner.replan`)
+    warm: bool = False
+    #: the incumbent's cell, when warm: ``{"num_stages": S, "gacc": G,
+    #: "matched": bool}`` — ``matched`` is False when the cell no
+    #: longer exists on the delta'd cluster and the replan fell back to
+    #: cold ordering
+    warm_seed: dict | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -157,15 +174,18 @@ class SearchStats:
             "memo_misses": self.memo_misses,
             "bound_pruning": self.bound_pruning,
             "seed": dict(self.seed) if self.seed else None,
+            "warm": self.warm,
+            "warm_seed": dict(self.warm_seed) if self.warm_seed else None,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "SearchStats":
         """Rebuild from :meth:`to_dict` output (manifest resume path)."""
         known = {f: data[f] for f in cls.__dataclass_fields__ if f in data}
-        seed = known.get("seed")
-        if seed is not None:
-            known["seed"] = dict(seed)
+        for key in ("seed", "warm_seed"):
+            value = known.get(key)
+            if value is not None:
+                known[key] = dict(value)
         return cls(**known)
 
 
@@ -281,20 +301,40 @@ class MistTuner:
         self.max_pareto_points = max_pareto_points
         self.max_gacc_candidates = max_gacc_candidates
         # Everything a memoized stage-cost subproblem depends on besides
-        # its StageShape/layer counts/global batch. Frozen-dataclass
-        # reprs spell out every field, so two tuners share memo entries
-        # only when their cost models are parameter-identical; false
-        # *misses* (e.g. differently-ordered dicts) merely lose sharing.
-        self._memo_scope = (
-            repr(self.model), repr(self.cluster), self.seq_len, self.flash,
-            repr(self.space),
-            tuple(sorted((name, analyzer.interference.fingerprint())
-                         for name, analyzer in self.analyzers.items())),
-            self.max_pareto_points,
-        )
+        # its StageShape/layer counts/global batch. The scope is *per
+        # device group*: a stage menu is priced entirely by its group's
+        # sub-cluster (plus the p2p clamps already inside StageShape),
+        # so a cluster delta that leaves a group untouched keeps that
+        # group's scope — and its memo entries — valid, which is what
+        # lets a replan on the delta'd cluster reuse menus for the
+        # unchanged groups. Frozen-dataclass reprs spell out every
+        # field, so two tuners share entries only when the group's cost
+        # model is parameter-identical; false *misses* merely lose
+        # sharing.
+        def _group_scope(analyzer: SymbolicPerformanceAnalyzer,
+                         group_cluster: "ClusterSpec | HeterogeneousCluster",
+                         ) -> tuple:
+            return (
+                repr(self.model), repr(group_cluster), self.seq_len,
+                self.flash, repr(self.space),
+                analyzer.interference.fingerprint(),
+                self.max_pareto_points,
+            )
+
+        if self.hetero is None:
+            self._memo_scopes = {"": _group_scope(self.analyzer,
+                                                  self.cluster)}
+        else:
+            self._memo_scopes = {
+                group.name: _group_scope(self.analyzers[group.name],
+                                         group.cluster)
+                for group in self.hetero.groups
+            }
 
     @staticmethod
-    def _group_interference(interference, group_name: str):
+    def _group_interference(
+            interference: "InterferenceModel | Mapping | None",
+            group_name: str) -> InterferenceModel | None:
         """Resolve the interference model for one device group."""
         if interference is None or isinstance(interference, InterferenceModel):
             return interference
@@ -380,7 +420,9 @@ class MistTuner:
 
     def search(self, global_batch: int, *, parallelism: int = 1,
                verbose: bool = False, keep_top: int = 3,
-               progress=None, should_stop=None, prune: bool = True,
+               progress: "Callable[[int, int], None] | None" = None,
+               should_stop: "Callable[[], bool] | None" = None,
+               prune: bool = True,
                memo: MenuMemo | None = None,
                engine: str = "vectorized") -> TuningResult:
         """Solve the (S, G) grid and return the ranked outcome.
@@ -431,7 +473,7 @@ class MistTuner:
         done_lock = threading.Lock()
         done = [0]
 
-        def _solve_cell(task):
+        def _solve_cell(task: tuple) -> tuple:
             if should_stop is not None and should_stop():
                 raise SearchCancelled(
                     f"search cancelled after {done[0]}/{total} cells")
@@ -486,8 +528,80 @@ class MistTuner:
         return self._result(candidates, global_batch, start, evaluated,
                             search_log, keep_top, stats)
 
-    def _plan_from_solution(self, solution, global_batch: int,
-                            gacc: int) -> TrainingPlan:
+    def replan(self, global_batch: int, *, incumbent: TrainingPlan,
+               parallelism: int = 1, verbose: bool = False,
+               keep_top: int = 1,
+               progress: "Callable[[int, int], None] | None" = None,
+               should_stop: "Callable[[], bool] | None" = None,
+               memo: MenuMemo | None = None,
+               engine: str = "vectorized") -> TuningResult:
+        """Warm-started search for a changed cluster (elastic re-tuning).
+
+        ``incumbent`` is the plan that was running before the cluster
+        changed (typically the cached :attr:`TuningResult.best_plan`
+        of the pre-delta cluster). Only its *shape* is used — pipeline
+        depth, device-group sequence, and gradient-accumulation steps
+        locate the matching (S, G) cell of the new grid, which is
+        solved first so the branch-and-bound cut starts from a strong
+        incumbent objective on the very next cell. The plan itself is
+        never re-priced or used as a bound, so the returned
+        ``best_plan`` is **bit-identical** to what a cold
+        :meth:`search` of this tuner would return; when the incumbent's
+        cell no longer exists (``SearchStats.warm_seed["matched"]`` is
+        False) the replan degrades to cold ordering and stays correct.
+
+        Two things make a warm replan cheaper than a cold search:
+
+        * it prunes against the *best* solved objective rather than the
+          ``keep_top``-th best, so ``top_plans`` beyond the winner is
+          advisory (hence the ``keep_top=1`` default — replanning wants
+          *the* plan, fast);
+        * the per-device-group memo scope keeps
+          :class:`~repro.core.memo.MenuMemo` entries of unchanged
+          groups valid across the delta, so shared stage subproblems
+          replay instead of recompute (pass the same ``memo`` the cold
+          search used; counters stay deterministic either way).
+        """
+        engine = validate_engine(engine)
+        return self._search_pruned(
+            global_batch, parallelism=parallelism, verbose=verbose,
+            keep_top=keep_top, progress=progress, should_stop=should_stop,
+            memo=memo if memo is not None else GLOBAL_MENU_MEMO,
+            engine=engine, incumbent=incumbent,
+        )
+
+    def _incumbent_cell(self, grid: list[tuple],
+                        plan: TrainingPlan) -> int | None:
+        """Locate ``plan``'s (S, G) cell in the current grid, if any.
+
+        Homogeneous grids match on pipeline depth and gacc (stage size
+        is implied by depth). Heterogeneous grids match the stage ->
+        device-group sequence too, preferring an assignment with the
+        exact per-stage GPU counts but settling for the same group
+        sequence when the delta resized a group.
+        """
+        if self.hetero is None:
+            for idx, (s, _, g, _, assignment) in enumerate(grid):
+                if assignment is None and s == plan.num_stages \
+                        and g == plan.gacc:
+                    return idx
+            return None
+        stage_groups = tuple(s.device_group for s in plan.stages)
+        stage_gpus = tuple(s.gpus for s in plan.stages)
+        group_match = None
+        for idx, (s, _, g, _, assignment) in enumerate(grid):
+            if assignment is None or s != plan.num_stages or g != plan.gacc:
+                continue
+            if tuple(slot.group for slot in assignment) != stage_groups:
+                continue
+            if tuple(slot.stage_gpus for slot in assignment) == stage_gpus:
+                return idx
+            if group_match is None:
+                group_match = idx
+        return group_match
+
+    def _plan_from_solution(self, solution: inter_stage.InterStageSolution,
+                            global_batch: int, gacc: int) -> TrainingPlan:
         return TrainingPlan(
             global_batch=global_batch,
             gacc=gacc,
@@ -495,7 +609,8 @@ class MistTuner:
             source=f"mist[{self.space.name}]",
         )
 
-    def _result(self, candidates, global_batch: int, start: float,
+    def _result(self, candidates: list[tuple[float, TrainingPlan]],
+                global_batch: int, start: float,
                 evaluated: int, search_log: list, keep_top: int,
                 stats: SearchStats) -> TuningResult:
         best_objective = candidates[0][0] if candidates else np.inf
@@ -518,9 +633,11 @@ class MistTuner:
     # -- pruned search ------------------------------------------------------
 
     def _search_pruned(self, global_batch: int, *, parallelism: int,
-                       verbose: bool, keep_top: int, progress, should_stop,
-                       memo: MenuMemo,
-                       engine: str = "vectorized") -> TuningResult:
+                       verbose: bool, keep_top: int,
+                       progress: "Callable[[int, int], None] | None",
+                       should_stop: "Callable[[], bool] | None",
+                       memo: MenuMemo, engine: str = "vectorized",
+                       incumbent: TrainingPlan | None = None) -> TuningResult:
         start = time.perf_counter()
         grid = self._sg_grid(global_batch)
         total = len(grid)
@@ -534,7 +651,20 @@ class MistTuner:
         bounds, feasible = self._cell_bounds(global_batch, grid,
                                              engine=engine)
         seed_idx = None
-        if self.hetero is None:
+        if incumbent is not None:
+            # Warm start (replan): solve the incumbent plan's (S, G)
+            # cell first. Like the heuristic seed, the incumbent only
+            # chooses *where to look first* — its old objective is
+            # never reused as a bound (the delta changed the cost
+            # model under it), so bit-identity stays unconditional.
+            seed_idx = self._incumbent_cell(grid, incumbent)
+            stats.warm = True
+            stats.warm_seed = {
+                "num_stages": incumbent.num_stages,
+                "gacc": incumbent.gacc,
+                "matched": seed_idx is not None,
+            }
+        if seed_idx is None and self.hetero is None:
             seed_idx, seed_info = self._heuristic_seed(
                 global_batch, grid, feasible, engine=engine)
             stats.seed = seed_info
@@ -543,7 +673,12 @@ class MistTuner:
             key=lambda i: (i != seed_idx, bounds[i], i),
         )
 
-        incumbents = _Incumbents(keep_top)
+        # A warm replan guarantees only the *winner* bit-identical, so
+        # it prunes against the best solved objective (k = 1) — far
+        # tighter than the top-k-protecting cut of a cold search, and
+        # the source of the warm speedup (pruned cells evaluate zero
+        # configurations).
+        incumbents = _Incumbents(1 if incumbent is not None else keep_top)
         outcomes: list = [None] * total
         done_lock = threading.Lock()
         done = [0]
@@ -698,18 +833,20 @@ class MistTuner:
             else:
                 slot_floors = [floors[(s.group, s.stage_gpus, gacc)]
                                for s in assignment]
-            if any(f is None for f in slot_floors):
+            finite = [f for f in slot_floors if f is not None]
+            if len(finite) != len(slot_floors):
                 bounds.append(math.inf)
                 feasible.append(False)
                 continue
             bounds.append(objective_lower_bound(
-                min(slot_floors), total_layers, num_stages, gacc))
+                min(finite), total_layers, num_stages, gacc))
             feasible.append(True)
         return bounds, feasible
 
     def _heuristic_seed(self, global_batch: int, grid: list[tuple],
                         feasible: list[bool], *,
-                        engine: str = "vectorized"):
+                        engine: str = "vectorized",
+                        ) -> "tuple[int | None, dict | None]":
         """Pick the cell a Megatron-style uniform layout prefers.
 
         For every feasible homogeneous cell, price the uniform
@@ -829,10 +966,10 @@ class MistTuner:
             cut.append(filtered)
         return cut, removed
 
-    def _tune_pipeline_memo(self, global_batch: int, task: tuple,
-                            memo: MenuMemo, *,
-                            threshold: float = math.inf,
-                            engine: str = "vectorized"):
+    def _tune_pipeline_memo(
+            self, global_batch: int, task: tuple, memo: MenuMemo, *,
+            threshold: float = math.inf, engine: str = "vectorized",
+    ) -> "tuple[inter_stage.InterStageSolution | None, _CellCounts]":
         """Solve one (S, G) cell through the memoized, prefiltered path.
 
         Returns ``(solution, _CellCounts)``. Results are bit-identical
@@ -850,12 +987,13 @@ class MistTuner:
         intra: dict[str, IntraStageTuner] = {}
         seen_in_cell: set[tuple] = set()
 
-        def menus_for(group: str, shape: StageShape, lcounts: list[int]):
+        def menus_for(group: str, shape: StageShape, lcounts: list[int],
+                      ) -> dict[int, list[ParetoPoint]]:
             # engine is part of the key: menus are bit-identical across
             # engines, but replaying a vectorized entry under
             # engine="interpreted" would let memo warmth mask exactly
             # the divergence the differential tests exist to catch
-            key = (self._memo_scope, engine, global_batch, shape,
+            key = (self._memo_scopes[group], engine, global_batch, shape,
                    tuple(lcounts))
             entry = memo.lookup(key)
             if entry is None:
@@ -920,7 +1058,8 @@ class MistTuner:
                                 else [self.model.num_layers])
                 menus.append(menus_for(slot.group, shape, stage_counts))
 
-        def _solve(stage_menus):
+        def _solve(stage_menus: list,
+                   ) -> "inter_stage.InterStageSolution | None":
             return inter_stage.solve(
                 stage_menus, self.model.num_layers, gacc,
                 imbalance_aware=self.space.imbalance_aware,
@@ -966,11 +1105,13 @@ class MistTuner:
 
     # -- per-(S, G) solve ---------------------------------------------------------
 
-    def _tune_pipeline(self, global_batch: int, num_stages: int,
-                       stage_gpus: int, gacc: int,
-                       layer_counts: list[int],
-                       assignment: "tuple[StageSlot, ...] | None" = None,
-                       *, engine: str = "vectorized"):
+    def _tune_pipeline(
+            self, global_batch: int, num_stages: int,
+            stage_gpus: int, gacc: int,
+            layer_counts: list[int],
+            assignment: "tuple[StageSlot, ...] | None" = None,
+            *, engine: str = "vectorized",
+    ) -> "tuple[inter_stage.InterStageSolution | None, int]":
         """Solve one (S, G) candidate (exhaustive reference path).
 
         Returns ``(solution, evaluated)`` where ``evaluated`` is the
@@ -1019,10 +1160,12 @@ class MistTuner:
         )
         return solution, intra.evaluated
 
-    def _tune_pipeline_hetero(self, global_batch: int, gacc: int,
-                              layer_counts: list[int],
-                              assignment: "tuple[StageSlot, ...]",
-                              *, engine: str = "vectorized"):
+    def _tune_pipeline_hetero(
+            self, global_batch: int, gacc: int,
+            layer_counts: list[int],
+            assignment: "tuple[StageSlot, ...]",
+            *, engine: str = "vectorized",
+    ) -> "tuple[inter_stage.InterStageSolution | None, int]":
         """Solve one heterogeneous (assignment, G) candidate.
 
         Stage menus come from the analyzer of the stage's device group,

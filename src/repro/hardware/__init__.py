@@ -6,6 +6,7 @@ A100 + L4) are :class:`HeterogeneousCluster` — ordered, named
 through :func:`cluster_to_dict` / :func:`cluster_from_dict`.
 """
 
+from .delta import ClusterDelta, DeltaError
 from .gpu import GPU_REGISTRY, GiB, GPUSpec, get_gpu
 from .topology import (
     ClusterSpec,
@@ -22,8 +23,10 @@ __all__ = [
     "GPU_REGISTRY",
     "GPUSpec",
     "GiB",
+    "ClusterDelta",
     "ClusterSpec",
     "CommGroup",
+    "DeltaError",
     "DeviceGroup",
     "HeterogeneousCluster",
     "cluster_from_dict",

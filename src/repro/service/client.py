@@ -103,6 +103,23 @@ class Client:
         return self._request("POST", "/jobs",
                              {"job": job.to_dict(), "solver": solver})
 
+    def replan(self, job: TuningJob, delta, solver: str = "mist", *,
+               budget_seconds: float = 0.0) -> dict:
+        """``POST /replan``: warm re-tune ``job`` after a cluster change.
+
+        ``delta`` is a :class:`~repro.hardware.ClusterDelta` or its
+        dict form. The daemon answers within ``budget_seconds``: a
+        ``200`` record carries the finished report, a ``202`` record
+        (``budget_expired: True``) carries the incumbent plan to keep
+        running plus the job id to poll (:meth:`wait`) for the new one.
+        Note the client-level ``timeout`` must exceed the budget.
+        """
+        delta_dict = delta if isinstance(delta, dict) else delta.to_dict()
+        return self._request("POST", "/replan",
+                             {"job": job.to_dict(), "delta": delta_dict,
+                              "solver": solver,
+                              "budget_seconds": budget_seconds})
+
     def jobs(self) -> list[dict]:
         return self._request("GET", "/jobs")["jobs"]
 

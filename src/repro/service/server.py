@@ -41,7 +41,10 @@ from urllib.parse import parse_qs, urlsplit
 from repro import __version__
 from repro.api import PlanCache, SolverNotFoundError, TuningJob, solve
 from repro.api.registry import solver_names
+from repro.api.replan import delta_job
+from repro.api.replan import replan as api_replan
 from repro.core.tuner import SearchCancelled
+from repro.hardware import ClusterDelta, DeltaError
 
 from .state import CampaignRecord, InFlight, JobRecord, ServiceMetrics
 from .workers import make_tier
@@ -222,6 +225,69 @@ class TuningService:
             self._pool.submit(self._run_flight, flight, job, solver)
         return record
 
+    def submit_replan(self, job: TuningJob, delta: "ClusterDelta | dict",
+                      solver: str = "mist", *, client: str = ""):
+        """Register an elastic replan: re-tune ``job`` after ``delta``.
+
+        Returns ``(record, incumbent_plan)``. The record tracks the
+        *post-delta* job (its fingerprint is the plan-cache key for the
+        re-tuned plan), so a repeated replan is a cache hit and an
+        identical concurrent one coalesces — and both share admission
+        control with ordinary submissions. The incumbent plan is looked
+        up in the cache under the pre-delta job; ``None`` means the
+        search runs cold (still correct, just slower).
+
+        Replan flights run on the supervisor thread itself via
+        :func:`repro.api.replan` — the process tier's IPC cannot carry
+        an incumbent plan — so ``worker_mode="process"`` daemons replan
+        on a thread while ordinary solves keep their worker processes.
+        """
+        if solver not in solver_names():
+            raise SolverNotFoundError(solver)
+        if isinstance(delta, dict):
+            delta = ClusterDelta.from_dict(delta)
+        new_job = delta_job(job, delta)
+        fingerprint = new_job.fingerprint()
+        record = JobRecord(job=new_job, solver=solver,
+                           fingerprint=fingerprint, client=client)
+        key = (solver, fingerprint)
+        self.metrics.inc("replan_requests")
+        with self._lock:
+            # same ordering contract as submit(): cache read and
+            # in-flight check under one lock (see submit's comment)
+            hit = self.cache.load(new_job, solver)
+            if hit is not None:
+                self.metrics.inc("jobs_submitted")
+                self._jobs[record.id] = record
+                record.complete(hit, from_cache=True)
+                self.metrics.inc("cache_hits")
+                self.metrics.inc("replan_cache_hits")
+                self.metrics.inc("jobs_completed")
+                return record, None
+            flight = self._inflight.get(key)
+            self._admit_locked(client, new_flight=flight is None)
+            self.metrics.inc("jobs_submitted")
+            self.metrics.inc("cache_misses")
+            self._jobs[record.id] = record
+            record.counted = True
+            self._clients[client] = self._clients.get(client, 0) + 1
+            incumbent = self.cache.load(job, solver)
+            plan = incumbent.plan if incumbent is not None else None
+            if flight is not None:
+                # someone is already solving this exact post-delta job
+                # (a racing replan or a plain submit); ride that search
+                flight.attach(record)
+                record.coalesced = True
+                self.metrics.inc("coalesced")
+                return record, plan
+            self.metrics.inc("replan_warm" if plan is not None
+                             else "replan_cold_fallback")
+            flight = InFlight(key, record)
+            self._inflight[key] = flight
+            self._pool.submit(self._run_replan_flight, flight, job, delta,
+                              solver, plan)
+        return record, plan
+
     def _admit_locked(self, client: str, *, new_flight: bool) -> None:
         """Admission checks; the caller holds ``self._lock``.
 
@@ -373,6 +439,23 @@ class TuningService:
     def _run_flight(self, flight: InFlight, job: TuningJob,
                     solver: str) -> None:
         """Worker-thread body: one search feeding 1..n coalesced records."""
+        self._run_search(
+            flight,
+            lambda progress, should_stop: self._tier.run(
+                job, solver, cache=self.cache,
+                progress=progress, should_stop=should_stop))
+
+    def _run_replan_flight(self, flight: InFlight, base_job: TuningJob,
+                           delta: ClusterDelta, solver: str, plan) -> None:
+        """Supervisor-thread body of one warm-started replan search."""
+        self._run_search(
+            flight,
+            lambda progress, should_stop: api_replan(
+                base_job, delta, solver, cache=self.cache, incumbent=plan,
+                progress=progress, should_stop=should_stop))
+
+    def _run_search(self, flight: InFlight, runner) -> None:
+        """Run one search (``runner(progress, should_stop)``) for a flight."""
         flight.mark_running()
 
         def progress(done: int, total: int) -> None:
@@ -385,9 +468,7 @@ class TuningService:
 
         start = time.perf_counter()
         try:
-            report = self._tier.run(job, solver, cache=self.cache,
-                                    progress=progress,
-                                    should_stop=should_stop)
+            report = runner(progress, should_stop)
         except SearchCancelled:
             self.metrics.inc("solver_invocations")
             self._finish_flight(flight)
@@ -630,6 +711,62 @@ class TuningService:
                 return 200, campaign.to_dict()
             except UnknownCampaignError as exc:
                 raise _HttpError(404, exc.args[0]) from None
+        if segments == ["replan"] and method == "POST":
+            payload = self._parse_json(body)
+            job_dict = payload.get("job")
+            if not isinstance(job_dict, dict):
+                raise _HttpError(400, 'body must carry {"job": {...}}')
+            delta_dict = payload.get("delta")
+            if not isinstance(delta_dict, dict):
+                raise _HttpError(400, 'body must carry {"delta": {...}}')
+            solver = payload.get("solver", "mist")
+            try:
+                budget = float(payload.get("budget_seconds", 0.0))
+            except (TypeError, ValueError):
+                raise _HttpError(400, "budget_seconds must be a number") \
+                    from None
+            try:
+                job = TuningJob.from_dict(job_dict)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise _HttpError(400, f"invalid job: {exc}") from None
+            try:
+                delta = ClusterDelta.from_dict(delta_dict)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise _HttpError(400, f"invalid delta: {exc}") from None
+            try:
+                record, plan = await loop.run_in_executor(
+                    None, functools.partial(self.submit_replan, job, delta,
+                                            solver, client=client))
+            except SolverNotFoundError as exc:
+                raise _HttpError(404, exc.args[0]) from None
+            except AdmissionError as exc:
+                raise _HttpError(
+                    429, str(exc),
+                    headers={"Retry-After": str(exc.retry_after)},
+                    extra={"retry_after": exc.retry_after,
+                           "reason": exc.reason}) from None
+            except (DeltaError, ValueError) as exc:
+                # a delta that doesn't fit the cluster, or a post-delta
+                # job that fails validation (JobValidationError)
+                raise _HttpError(400, str(exc)) from None
+            if not record.finished and budget > 0:
+                # latency budget: block off the loop until the search
+                # lands or the budget runs out, whichever comes first
+                await loop.run_in_executor(
+                    None, self._await_record, record, budget)
+            out = record.to_dict()
+            if record.finished:
+                self.metrics.inc("replan_within_budget")
+                return 200, out
+            # budget expired (or none given): hand back the tracking
+            # record plus the incumbent plan — the caller keeps running
+            # the old plan and polls GET /jobs/<id> for the new one
+            self.metrics.inc("replan_budget_expired")
+            out["budget_expired"] = True
+            out["budget_seconds"] = budget
+            out["incumbent_plan"] = (plan.to_dict()
+                                     if plan is not None else None)
+            return 202, out
         if len(segments) == 2 and segments[0] == "plans" and method == "GET":
             solver = query.get("solver", "mist")
             report = await loop.run_in_executor(
@@ -640,6 +777,14 @@ class TuningService:
             return 200, {"solver": solver, "fingerprint": segments[1],
                          "report": report.to_dict()}
         raise _HttpError(404, f"no route for {method} {split.path}")
+
+    @staticmethod
+    def _await_record(record: JobRecord, budget: float) -> None:
+        """Block (off the event loop) until the record reaches a
+        terminal state or the latency budget expires."""
+        deadline = time.monotonic() + budget
+        while not record.finished and time.monotonic() < deadline:
+            time.sleep(0.02)
 
     @staticmethod
     def _parse_json(body: bytes) -> dict:

@@ -288,6 +288,11 @@ class ServiceMetrics:
         "cache_hits", "cache_misses", "coalesced", "solver_invocations",
         "campaigns_submitted", "campaign_cells",
         "rejected_queue", "rejected_quota",
+        # elastic re-tuning (POST /replan): warm means an incumbent plan
+        # was found and seeded the search; within_budget/budget_expired
+        # split how the HTTP exchange resolved against its latency budget
+        "replan_requests", "replan_warm", "replan_cold_fallback",
+        "replan_cache_hits", "replan_within_budget", "replan_budget_expired",
     )
     #: prune-and-memoize counters accumulated from each completed
     #: search's ``SolveReport.search_stats`` (cache hits excluded — no
@@ -398,6 +403,14 @@ class ServiceMetrics:
                 "queue_depth": in_flight,
                 "rejected_queue": counts["rejected_queue"],
                 "rejected_quota": counts["rejected_quota"],
+            },
+            "replan": {
+                "requests": counts["replan_requests"],
+                "warm": counts["replan_warm"],
+                "cold_fallback": counts["replan_cold_fallback"],
+                "cache_hits": counts["replan_cache_hits"],
+                "within_budget": counts["replan_within_budget"],
+                "budget_expired": counts["replan_budget_expired"],
             },
             "latency": {
                 "samples": len(latency_samples),

@@ -1,0 +1,134 @@
+"""Storm scenario: a device group dies mid-campaign.
+
+The elastic re-tuning satellite, end to end on real solvers: a
+process-pool campaign over a heterogeneous fleet is killed mid-grid
+(the storm takes the ``a100`` group with it), the manifest resume
+finishes the surviving grid without re-searching anything already
+solved, and the operator then extends the grid with the post-storm
+cluster — sharing one plan cache, so only the invalidated (delta'd)
+cells execute. Finally a warm :func:`repro.api.replan` of an affected
+cell must reproduce the campaign's cold solve bit-for-bit and land on
+the same cache key.
+"""
+
+import pytest
+
+from repro.api import PlanCache, TuningJob, delta_job, replan
+from repro.campaigns import CampaignManifest, CampaignSpec, run_campaign
+from repro.hardware import (
+    ClusterDelta,
+    DeviceGroup,
+    HeterogeneousCluster,
+    cluster_to_dict,
+    make_cluster,
+)
+
+#: the pre-storm fleet: one a100 node + one l4 node
+C0 = cluster_to_dict(HeterogeneousCluster(groups=(
+    DeviceGroup("a100", make_cluster("A100-40GB", 1, 2)),
+    DeviceGroup("l4", make_cluster("L4", 1, 2)),
+)))
+#: the storm: the a100 group is gone (collapses to a plain L4 cluster)
+STORM = ClusterDelta.remove_group("a100")
+C1 = STORM.apply(C0)
+
+SPEC = CampaignSpec(
+    name="storm-grid",
+    solvers=("mist", "uniform"),
+    models=("gpt3-1.3b",),
+    clusters=(C0,),
+    scales=("smoke",),
+    # pinned: the per-GPU default would differ between the mixed fleet
+    # and the post-storm L4 cluster, and a replan preserves workload
+    seq_lens=(2048,),
+    global_batches=(8, 16),
+    interference="none",
+)
+
+
+def _cells(report, cluster):
+    return [rec for rec in report.cells
+            if rec["job"].get("cluster") == cluster]
+
+
+@pytest.fixture(scope="module")
+def storm(tmp_path_factory):
+    """Kill mid-grid, resume, then re-plan the grid on the storm fleet."""
+    directory = tmp_path_factory.mktemp("storm")
+    recorded = []
+
+    def should_stop() -> bool:
+        return len(recorded) >= 2
+
+    run_campaign(SPEC, executor="process-pool",
+                 executor_options={"workers": 2}, directory=directory,
+                 on_event=lambda rec, _r: recorded.append(rec),
+                 should_stop=should_stop)
+    resumed = run_campaign(SPEC, executor="process-pool",
+                           executor_options={"workers": 2},
+                           directory=directory, resume=True)
+    after_dir = tmp_path_factory.mktemp("storm-after")
+    after = run_campaign(
+        SPEC.with_(name="storm-after", clusters=(C0, C1)),
+        executor="process-pool", executor_options={"workers": 2},
+        directory=after_dir, cache=PlanCache(directory / "plans"))
+    return directory, after_dir, resumed, after
+
+
+class TestStormResume:
+    def test_resume_solves_nothing_already_done(self, storm):
+        _, _, resumed, _ = storm
+        assert resumed.counters["done"] == 4
+        assert resumed.counters["solved"] == 0
+        assert resumed.counters["manifest_hits"] >= 2
+        assert (resumed.counters["manifest_hits"]
+                + resumed.counters["cache_hits"]) == 4
+
+    def test_post_storm_grid_solves_only_invalidated_cells(self, storm):
+        _, after_dir, _, after = storm
+        assert after.counters["done"] == 8
+        # the four pre-storm cells ride the shared plan cache; only the
+        # four cells on the post-storm cluster actually execute
+        assert after.counters["cache_hits"] == 4
+        assert after.counters["solved"] == 4
+        assert all(rec["source"] == "cache" for rec in _cells(after, C0))
+        assert all(rec["source"] == "solved" for rec in _cells(after, C1))
+        manifest = CampaignManifest(after_dir)
+        assert manifest.load()
+        assert len(manifest.cells()) == 8
+
+
+class TestWarmEqualsCampaignCold:
+    def test_warm_replan_matches_campaign_cold_solve(self, storm):
+        directory, _, resumed, after = storm
+        cache = PlanCache(directory / "plans")
+        base = next(rec for rec in _cells(resumed, C0)
+                    if rec["solver"] == "mist"
+                    and rec["job"]["global_batch"] == 16)
+        cold = next(rec for rec in _cells(after, C1)
+                    if rec["solver"] == "mist"
+                    and rec["job"]["global_batch"] == 16)
+        base_job = TuningJob.from_dict(base["job"])
+        incumbent = cache.load(base_job, "mist")
+        assert incumbent is not None and incumbent.plan is not None
+        warm = replan(base_job, STORM, incumbent=incumbent)
+        assert warm.extra["replan"]["warm"] is True
+        assert warm.plan.to_dict() == cold["plan"]
+
+    def test_replan_shares_cache_key_with_campaign(self, storm):
+        directory, _, resumed, after = storm
+        base = next(rec for rec in _cells(resumed, C0)
+                    if rec["solver"] == "mist"
+                    and rec["job"]["global_batch"] == 8)
+        cold = next(rec for rec in _cells(after, C1)
+                    if rec["solver"] == "mist"
+                    and rec["job"]["global_batch"] == 8)
+        base_job = TuningJob.from_dict(base["job"])
+        assert delta_job(base_job, STORM).fingerprint() \
+            == cold["fingerprint"]
+        # ...so a replan against the shared cache finds the campaign's
+        # cold solve already there and never searches
+        report = replan(base_job, STORM,
+                        cache=PlanCache(directory / "plans"))
+        assert report.extra["replan"]["incumbent"] == "cache-hit"
+        assert report.plan.to_dict() == cold["plan"]

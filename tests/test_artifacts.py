@@ -1,0 +1,51 @@
+"""Artifact names: one source of truth, and every consumer on it.
+
+:mod:`repro.benchmarking.artifacts` is the only place the bench/load
+artifact filenames live. The CLI defaults and the CI workflow both
+consume them — these tests pin that agreement so a rename can never
+leave an upload step (or a baseline gate) pointing at a file nobody
+writes anymore.
+"""
+
+from pathlib import Path
+
+from repro.benchmarking import (
+    BENCH_ARTIFACT,
+    BENCH_BASELINE,
+    LOAD_ARTIFACT,
+    LOAD_BASELINE,
+)
+from repro.cli import build_parser
+
+CI = Path(__file__).resolve().parents[1] / ".github" / "workflows" / "ci.yml"
+
+
+class TestCliDefaults:
+    def test_bench_out_default(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.out == BENCH_ARTIFACT
+
+    def test_load_out_default(self):
+        args = build_parser().parse_args(["load"])
+        assert args.out == LOAD_ARTIFACT
+
+    def test_bench_warm_speedup_gate_default(self):
+        # the CI perf job passes 2.0 explicitly; the CLI default must
+        # agree so a bare `repro bench` enforces the same bar
+        args = build_parser().parse_args(["bench"])
+        assert args.min_warm_speedup == 2.0
+
+
+class TestCiWorkflowAgreement:
+    def test_ci_uses_canonical_names(self):
+        text = CI.read_text()
+        for name in (BENCH_ARTIFACT, LOAD_ARTIFACT, BENCH_BASELINE):
+            assert name in text, f"ci.yml no longer mentions {name}"
+
+    def test_baselines_are_committed(self):
+        root = CI.parents[2]
+        assert (root / BENCH_BASELINE).exists()
+        assert (root / LOAD_BASELINE).exists()
+
+    def test_perf_job_gates_warm_speedup(self):
+        assert "--min-warm-speedup 2.0" in CI.read_text()

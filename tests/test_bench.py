@@ -11,6 +11,7 @@ from repro.benchmarking import (
     BENCH_SCHEMA,
     check_against_baseline,
     check_engine_speedup,
+    check_warm_speedup,
     format_bench,
     run_bench,
     validate_bench,
@@ -29,7 +30,7 @@ class TestSnapshot:
         assert snapshot["scale"] == "smoke"
         assert set(snapshot["benchmarks"]) == {
             "fig16_tuning_time", "fig16_exhaustive_reference",
-            "fig16_interpreted_engine"}
+            "fig16_interpreted_engine", "fig_replan"}
         pruned = snapshot["benchmarks"]["fig16_tuning_time"]
         assert pruned["wall_time_seconds"] > 0
         assert pruned["per_space"]
@@ -66,13 +67,24 @@ class TestSnapshot:
         assert "speedup vs exhaustive" in text
         assert "vectorized vs interpreted engine" in text
 
-    def test_interpreted_pass_is_optional(self):
+    def test_replan_pass_recorded(self, snapshot):
+        replan = snapshot["benchmarks"]["fig_replan"]
+        assert replan["scenarios"]
+        assert all(entry["plans_match"]
+                   for entry in replan["scenarios"].values())
+        assert snapshot["derived"]["replan_plans_match"]
+        assert snapshot["derived"]["fig_replan_speedup"] > 1.0
+
+    def test_comparison_passes_are_optional(self):
         trimmed = run_bench("smoke", include_exhaustive=False,
-                            include_interpreted=False)
+                            include_interpreted=False,
+                            include_replan=False)
         assert set(trimmed["benchmarks"]) == {"fig16_tuning_time"}
         assert "fig16_engine_speedup" not in trimmed["derived"]
-        # no comparison data: the speedup gate passes vacuously
+        assert "fig_replan_speedup" not in trimmed["derived"]
+        # no comparison data: both speedup gates pass vacuously
         assert check_engine_speedup(trimmed, min_speedup=2.0) == []
+        assert check_warm_speedup(trimmed, min_speedup=2.0) == []
 
 
 class TestGates:
@@ -144,6 +156,26 @@ class TestGates:
         assert len(problems) == 1 and "1.50x" in problems[0]
         # an explicit 0 disables the gate
         assert check_engine_speedup(slow, min_speedup=0.0) == []
+
+    def test_warm_speedup_gate(self, snapshot):
+        assert check_warm_speedup(snapshot, min_speedup=2.0) == []
+        slow = copy.deepcopy(snapshot)
+        slow["derived"]["fig_replan_speedup"] = 1.2
+        problems = check_warm_speedup(slow, min_speedup=2.0)
+        assert len(problems) == 1 and "1.20x" in problems[0]
+        # an explicit 0 disables the gate
+        assert check_warm_speedup(slow, min_speedup=0.0) == []
+
+    def test_replan_plan_drift_fails_validation(self, snapshot):
+        tampered = copy.deepcopy(snapshot)
+        scenarios = tampered["benchmarks"]["fig_replan"]["scenarios"]
+        name = next(iter(scenarios))
+        scenarios[name]["plans_match"] = False
+        tampered["benchmarks"]["fig_replan"]["plans_match"] = False
+        tampered["derived"]["replan_plans_match"] = False
+        problems = validate_bench(tampered)
+        assert any("warm replan plans drifted" in p and name in p
+                   for p in problems)
 
     def test_scale_mismatch_fails(self, snapshot):
         other = copy.deepcopy(snapshot)
