@@ -1,4 +1,4 @@
-"""``repro check`` — AST-based invariant checker for this repo.
+"""``repro check`` — dataflow-powered invariant checker for this repo.
 
 Static analysis that enforces the contracts the test suite cannot see
 per-commit: determinism of fingerprint/memo/serialization paths,
@@ -6,17 +6,39 @@ per-commit: determinism of fingerprint/memo/serialization paths,
 lock discipline around shared state, and registry-mediated access to
 solver/executor implementations.
 
+Since PR 10 the checker is built on a small intraprocedural dataflow
+engine: a shared CFG builder (:mod:`~repro.analysis.cfg`),
+reaching-definitions / use-def chains and kind-aware taint tracking
+(:mod:`~repro.analysis.dataflow`), and a project-wide call graph
+(:mod:`~repro.analysis.callgraph`). On top of it ride the
+``fingerprint-taint``, ``lock-order``, and ``exception-flow`` rule
+families, plus the ported ``determinism`` rule (a strict superset of
+its pre-engine findings).
+
 Rules are plain classes registered with
 :func:`~repro.analysis.registry.register_rule` — the same decorator
 pattern as ``@register_solver`` — and run by
 :func:`~repro.analysis.runner.run_check`. Findings are silenced inline
 with ``# repro: allow[rule-id] <justification>``; stale allows are
-themselves reported. See ``docs/CHECKS.md`` for the rule catalog.
+themselves reported. Output formats: text, JSON, and SARIF 2.1.0
+(:mod:`~repro.analysis.sarif`) for GitHub code scanning. See
+``docs/CHECKS.md`` for the rule catalog.
 """
 
 from __future__ import annotations
 
+from .callgraph import CallGraph, FunctionInfo
+from .cfg import CFG, Block, build_cfg, iter_functions
 from .config import DEFAULT_CONFIG, CheckConfig, path_matches
+from .dataflow import (
+    Definition,
+    ReachingDefinitions,
+    TaintAnalysis,
+    TaintSource,
+    TaintSpec,
+    UseDef,
+    use_def_chains,
+)
 from .findings import Finding
 from .project import ModuleSource, Project, iter_python_files
 from .registry import (
@@ -27,27 +49,42 @@ from .registry import (
     rule_registry,
 )
 from .runner import CheckResult, check_project, run_check
+from .sarif import to_sarif
 from .suppressions import UNUSED_RULE_ID, SuppressionIndex
 
 # importing the subpackage registers every built-in rule
 from . import rules as rules  # noqa: F401
 
 __all__ = [
+    "Block",
+    "CFG",
+    "CallGraph",
     "CheckConfig",
     "CheckResult",
     "DEFAULT_CONFIG",
+    "Definition",
     "Finding",
+    "FunctionInfo",
     "ModuleSource",
     "Project",
+    "ReachingDefinitions",
     "RuleNotFoundError",
     "SuppressionIndex",
+    "TaintAnalysis",
+    "TaintSource",
+    "TaintSpec",
     "UNUSED_RULE_ID",
+    "UseDef",
+    "build_cfg",
     "check_project",
     "get_rule",
+    "iter_functions",
     "iter_python_files",
     "path_matches",
     "register_rule",
     "rule_names",
     "rule_registry",
     "run_check",
+    "to_sarif",
+    "use_def_chains",
 ]

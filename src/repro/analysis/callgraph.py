@@ -1,0 +1,299 @@
+"""Project-wide call graph over a parsed :class:`Project`.
+
+Functions are keyed by ``<module path>::<qualname>`` (methods dotted:
+``server.py::TuningService.submit``). Resolution is name-based and
+deliberately conservative — an edge is only added when the target is
+unambiguous:
+
+* direct calls to module-level functions, same module or via
+  ``import`` / ``from ... import`` aliases;
+* ``self.m(...)`` / ``cls.m(...)`` to a method of the enclosing class;
+* ``ClassName(...)`` to ``ClassName.__init__``;
+* ``obj.m(...)`` when exactly **one** class in the project defines
+  ``m`` (the unique-method heuristic — ambiguous names add no edge);
+* function *references* passed as arguments
+  (``run_in_executor(None, self.submit, job)``,
+  ``functools.partial(f, ...)``) count as potential calls of the
+  referenced function — the executor-dispatch pattern this repo uses
+  everywhere.
+
+``@register_solver("mist")``-style decorations are indexed too:
+:meth:`CallGraph.reachable_from` treats a registered class or function
+as invoked wherever the reachable set touches that family's registry
+(a ``get_<family>``/``make_<family>``/``*_registry`` call or a
+first-argument dispatch like ``solve(job, "mist")`` is opaque to name
+resolution, so the closure conservatively adds every registered
+implementation of the family).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .project import ModuleSource, Project, dotted_name
+
+__all__ = ["CallGraph", "FunctionInfo"]
+
+
+@dataclass
+class FunctionInfo:
+    """One function definition the graph knows about."""
+
+    qualname: str  # "<module path>::<dotted qualname>"
+    module: ModuleSource
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    class_name: "str | None" = None
+    #: ``(family, name)`` pairs from ``@register_<family>("name")``
+    registrations: list = field(default_factory=list)
+
+
+def _register_decorations(node: ast.AST) -> list:
+    """``(family, registered-name)`` pairs from ``@register_*`` calls."""
+    out = []
+    for decorator in getattr(node, "decorator_list", []):
+        if not isinstance(decorator, ast.Call):
+            continue
+        name = dotted_name(decorator.func) or ""
+        short = name.split(".")[-1]
+        if not short.startswith("register_"):
+            continue
+        family = short[len("register_"):]
+        registered = ""
+        if decorator.args and isinstance(decorator.args[0], ast.Constant):
+            value = decorator.args[0].value
+            if isinstance(value, str):
+                registered = value
+        out.append((family, registered))
+    return out
+
+
+class CallGraph:
+    """Name-resolved call edges plus registry-indirection metadata."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self.edges: dict[str, set] = {}
+        #: family -> registered name -> owning def/class qualname
+        self.registrations: dict[str, dict] = {}
+        #: class qualname -> set of its method qualnames
+        self.class_methods: dict[str, set] = {}
+        #: bare method name -> set of qualnames (unique-name heuristic)
+        self._method_index: dict[str, set] = {}
+        #: module-level function name -> per-module qualname
+        self._module_funcs: dict[str, dict] = {}
+        #: module path -> {alias: imported dotted target}
+        self._imports: dict[str, dict] = {}
+        #: function qualname -> families whose registry it touches
+        self.registry_users: dict[str, set] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, project: Project) -> "CallGraph":
+        graph = cls()
+        for module in project.modules:
+            graph._index_module(module)
+        for info in list(graph.functions.values()):
+            graph._resolve_function(info)
+        return graph
+
+    def _index_module(self, module: ModuleSource) -> None:
+        self._module_funcs[module.path] = {}
+        self._imports[module.path] = {}
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    self._imports[module.path][bound] = alias.name
+            elif isinstance(stmt, ast.ImportFrom) and stmt.module:
+                for alias in stmt.names:
+                    bound = alias.asname or alias.name
+                    self._imports[module.path][bound] = \
+                        f"{stmt.module}.{alias.name}"
+
+        def index(body: list, prefix: str, class_name: "str | None",
+                  class_qual: "str | None") -> None:
+            for node in body:
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    qual = f"{module.path}::{prefix}{node.name}"
+                    info = FunctionInfo(
+                        qualname=qual, module=module, node=node,
+                        class_name=class_name,
+                        registrations=_register_decorations(node))
+                    self.functions[qual] = info
+                    if not prefix:
+                        self._module_funcs[module.path][node.name] = qual
+                    if class_qual is not None and prefix.count(".") == 1:
+                        self.class_methods[class_qual].add(qual)
+                        self._method_index.setdefault(
+                            node.name, set()).add(qual)
+                    for family, registered in info.registrations:
+                        self.registrations.setdefault(
+                            family, {})[registered] = qual
+                    index(node.body, f"{prefix}{node.name}.", class_name,
+                          None)
+                elif isinstance(node, ast.ClassDef):
+                    qual = f"{module.path}::{prefix}{node.name}"
+                    self.class_methods.setdefault(qual, set())
+                    for family, registered in _register_decorations(node):
+                        self.registrations.setdefault(
+                            family, {})[registered] = qual
+                    index(node.body, f"{prefix}{node.name}.", node.name,
+                          qual)
+
+        index(module.tree.body, "", None, None)
+
+    # -- resolution --------------------------------------------------------
+
+    def _class_qual(self, info: FunctionInfo) -> "str | None":
+        if info.class_name is None:
+            return None
+        qual, _, _ = info.qualname.rpartition(".")
+        return qual
+
+    def _resolve_name(self, module_path: str, name: str) -> "str | None":
+        """A bare callable name -> function qualname, if unambiguous."""
+        local = self._module_funcs.get(module_path, {}).get(name)
+        if local is not None:
+            return local
+        imported = self._imports.get(module_path, {}).get(name)
+        if imported is not None:
+            target_module, _, target_name = imported.rpartition(".")
+            suffix = target_module.replace(".", "/") + ".py"
+            for path, funcs in self._module_funcs.items():
+                if path.endswith(suffix) and target_name in funcs:
+                    return funcs[target_name]
+            # imported class: constructor edge
+            class_suffix = f"::{target_name}"
+            for qual in self.class_methods:
+                if (qual.endswith(class_suffix)
+                        and qual.split("::")[0].endswith(suffix)):
+                    init = f"{qual}.__init__"
+                    return init if init in self.functions else None
+        return None
+
+    def resolve_call(self, info: FunctionInfo,
+                     call: ast.Call) -> set:
+        """Target qualnames of one call expression (may be empty)."""
+        out: set = set()
+        func = call.func
+        name = dotted_name(func)
+        module_path = info.module.path
+        if isinstance(func, ast.Name):
+            target = self._resolve_name(module_path, func.id)
+            if target is not None:
+                out.add(target)
+            # ClassName(...) in the same module
+            class_qual = f"{module_path}::{func.id}"
+            if class_qual in self.class_methods:
+                init = f"{class_qual}.__init__"
+                if init in self.functions:
+                    out.add(init)
+        elif isinstance(func, ast.Attribute):
+            base = dotted_name(func.value)
+            if base in ("self", "cls") and info.class_name is not None:
+                class_qual = self._class_qual(info)
+                candidate = f"{class_qual}.{func.attr}"
+                if candidate in self.functions:
+                    out.add(candidate)
+            elif base is not None and "." not in base:
+                # ClassName.m or imported-module.m
+                class_qual = f"{module_path}::{base}"
+                candidate = f"{class_qual}.{func.attr}"
+                if candidate in self.functions:
+                    out.add(candidate)
+                imported = self._imports.get(module_path, {}).get(base)
+                if imported is not None:
+                    suffix = imported.replace(".", "/") + ".py"
+                    for path, funcs in self._module_funcs.items():
+                        if path.endswith(suffix) and func.attr in funcs:
+                            out.add(funcs[func.attr])
+            if not out:
+                # unique-method heuristic for obj.m(...)
+                candidates = self._method_index.get(func.attr, set())
+                if len(candidates) == 1:
+                    out |= candidates
+        del name
+        return out
+
+    def _callable_refs(self, info: FunctionInfo, call: ast.Call) -> set:
+        """Function refs passed *as arguments* (executor dispatch)."""
+        out: set = set()
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            if isinstance(arg, ast.Name):
+                target = self._resolve_name(info.module.path, arg.id)
+                if target is not None:
+                    out.add(target)
+            elif isinstance(arg, ast.Attribute):
+                base = dotted_name(arg.value)
+                if base in ("self", "cls") and info.class_name is not None:
+                    candidate = f"{self._class_qual(info)}.{arg.attr}"
+                    if candidate in self.functions:
+                        out.add(candidate)
+        return out
+
+    def _resolve_function(self, info: FunctionInfo) -> None:
+        edges = self.edges.setdefault(info.qualname, set())
+        families = self.registry_users.setdefault(info.qualname, set())
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            edges |= self.resolve_call(info, node)
+            edges |= self._callable_refs(info, node)
+            name = dotted_name(node.func) or ""
+            short = name.split(".")[-1]
+            for family in self.registrations:
+                if short in (f"get_{family}", f"make_{family}",
+                             f"{family}_registry", f"{family}_names"):
+                    families.add(family)
+
+    # -- queries -----------------------------------------------------------
+
+    def callees(self, qualname: str) -> set:
+        return set(self.edges.get(qualname, set()))
+
+    def _registered_functions(self, family: str) -> set:
+        """Every function a family's registrations can invoke."""
+        out: set = set()
+        for qual in self.registrations.get(family, {}).values():
+            if qual in self.functions:
+                out.add(qual)
+            out |= self.class_methods.get(qual, set())
+        return out
+
+    def reachable_from(self, roots: "set | list", *,
+                       follow_registry: bool = True) -> set:
+        """Transitive closure over edges (+ registry indirection).
+
+        When a visited function touches a family's registry, every
+        implementation registered under that family joins the
+        frontier — a dispatch-by-name cannot be resolved further, so
+        all registered targets are conservatively reachable.
+        """
+        seen: set = set()
+        frontier = [qual for qual in roots if qual in self.functions]
+        while frontier:
+            qual = frontier.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            for callee in self.edges.get(qual, set()):
+                if callee not in seen:
+                    frontier.append(callee)
+            if follow_registry:
+                for family in self.registry_users.get(qual, set()):
+                    for target in self._registered_functions(family):
+                        if target not in seen:
+                            frontier.append(target)
+        return seen
+
+    def by_suffix(self, suffix: str) -> set:
+        """Qualnames whose dotted part equals or ends with ``suffix``."""
+        out = set()
+        for qual in self.functions:
+            _, _, dotted = qual.partition("::")
+            if dotted == suffix or dotted.endswith("." + suffix):
+                out.add(qual)
+        return out

@@ -1,0 +1,355 @@
+"""Intraprocedural control-flow graphs for the dataflow engine.
+
+A :class:`CFG` is built per function (or module top level) and is the
+substrate every dataflow analysis in :mod:`repro.analysis.dataflow`
+runs on. Blocks hold *elements* — simple statements, branch condition
+expressions, loop headers, ``withitem``\\ s, ``ExceptHandler`` heads —
+in execution order, and edges over-approximate control flow (a may
+analysis on top of this graph can miss nothing that can actually
+happen, at the cost of some paths that cannot).
+
+Shapes handled: ``if``/``elif``/``else``, ``while``/``for`` (+
+``else``, ``break``, ``continue``), ``try``/``except``/``else``/
+``finally`` (every block inside a ``try`` body gets an edge to every
+handler head — an exception can occur at any statement), ``with`` /
+``async with``, ``match``, ``return``/``raise``, and ``async def``
+bodies (``await`` is an ordinary expression here; the lock-order rule
+gives it meaning). Comprehensions stay inside their element — their
+internal iteration is expression-level and handled by the transfer
+functions, not the graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+__all__ = ["CFG", "Block", "FunctionLike", "build_cfg", "iter_functions"]
+
+#: AST nodes a CFG can be built for
+FunctionLike = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Module]
+
+
+@dataclass
+class Block:
+    """One basic block: elements in execution order plus edges."""
+
+    id: int
+    label: str
+    elements: list = field(default_factory=list)
+    succs: list = field(default_factory=list)
+    preds: list = field(default_factory=list)
+
+
+class CFG:
+    """Control-flow graph of one function (or module) body."""
+
+    def __init__(self, node: FunctionLike, name: str):
+        self.node = node
+        self.name = name
+        self.blocks: dict[int, Block] = {}
+        self.entry = self._new("entry").id
+        self.exit = self._new("exit").id
+
+    def _new(self, label: str) -> Block:
+        block = Block(id=len(self.blocks), label=label)
+        self.blocks[block.id] = block
+        return block
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+            self.blocks[dst].preds.append(src)
+
+    def block_order(self) -> list[int]:
+        """Block ids in creation order (entry first, stable)."""
+        return sorted(self.blocks)
+
+    def iter_elements(self) -> "Iterator[tuple[Block, ast.AST]]":
+        """Every (block, element) pair in block/element order."""
+        for bid in self.block_order():
+            block = self.blocks[bid]
+            for element in block.elements:
+                yield block, element
+
+
+class _LoopCtx:
+    """break/continue targets of the innermost enclosing loop."""
+
+    def __init__(self, head: int, after: int):
+        self.head = head
+        self.after = after
+
+
+class _TryCtx:
+    """Blocks that may raise into this try's handlers."""
+
+    def __init__(self, handler_heads: list):
+        self.handler_heads = handler_heads
+        self.raising_blocks: set = set()
+
+
+class _Builder:
+    def __init__(self, node: FunctionLike, name: str):
+        self.cfg = CFG(node, name)
+        self.loops: list[_LoopCtx] = []
+        self.tries: list[_TryCtx] = []
+        #: innermost pending ``finally`` entry, for abrupt exits
+        self.finals: list[int] = []
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _block(self, label: str) -> Block:
+        return self.cfg._new(label)
+
+    def _add(self, cur: Block, element: ast.AST) -> None:
+        cur.elements.append(element)
+        # an exception can occur at any element: wire the block into
+        # every active try's handler set (done lazily at try close)
+        for ctx in self.tries:
+            ctx.raising_blocks.add(cur.id)
+
+    def _abrupt_target(self) -> int:
+        """Where return/raise transfers control: finally, else exit."""
+        return self.finals[-1] if self.finals else self.cfg.exit
+
+    # -- statement lists ---------------------------------------------------
+
+    def build(self) -> CFG:
+        entry = self.cfg.blocks[self.cfg.entry]
+        node = self.cfg.node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # parameters are definitions at entry; represent them by
+            # the arguments node so transfer functions can bind them
+            self._add(entry, node.args)
+            body = node.body
+        else:
+            body = node.body
+        last = self._stmts(body, entry)
+        if last is not None:
+            self.cfg._edge(last.id, self.cfg.exit)
+        return self.cfg
+
+    def _stmts(self, body: list, cur: "Block | None") -> "Block | None":
+        for stmt in body:
+            if cur is None:
+                # code after return/raise/break: unreachable block
+                cur = self._block("unreachable")
+            cur = self._stmt(stmt, cur)
+        return cur
+
+    # -- single statements -------------------------------------------------
+
+    def _stmt(self, stmt: ast.stmt, cur: Block) -> "Block | None":
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, cur)
+        if isinstance(stmt, ast.While):
+            return self._while(stmt, cur)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, cur)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, cur)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, cur)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, cur)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self._add(cur, stmt)
+            self.cfg._edge(cur.id, self._abrupt_target())
+            if self.finals:
+                # conservatively also reach the exit directly so
+                # may-analyses see the abrupt path without the finally
+                self.cfg._edge(cur.id, self.cfg.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            self._add(cur, stmt)
+            if self.loops:
+                self.cfg._edge(cur.id, self.loops[-1].after)
+            return None
+        if isinstance(stmt, ast.Continue):
+            self._add(cur, stmt)
+            if self.loops:
+                self.cfg._edge(cur.id, self.loops[-1].head)
+            return None
+        # simple statement (incl. nested def/class, which bind a name
+        # but whose bodies are separate CFGs)
+        self._add(cur, stmt)
+        return cur
+
+    def _if(self, stmt: ast.If, cur: Block) -> "Block | None":
+        self._add(cur, stmt.test)
+        after = self._block("if-join")
+        then = self._block("if-then")
+        self.cfg._edge(cur.id, then.id)
+        then_end = self._stmts(stmt.body, then)
+        if then_end is not None:
+            self.cfg._edge(then_end.id, after.id)
+        if stmt.orelse:
+            other = self._block("if-else")
+            self.cfg._edge(cur.id, other.id)
+            other_end = self._stmts(stmt.orelse, other)
+            if other_end is not None:
+                self.cfg._edge(other_end.id, after.id)
+        else:
+            self.cfg._edge(cur.id, after.id)
+        return after if after.preds else None
+
+    def _while(self, stmt: ast.While, cur: Block) -> Block:
+        head = self._block("while-head")
+        self.cfg._edge(cur.id, head.id)
+        self._add(head, stmt.test)
+        after = self._block("while-after")
+        body = self._block("while-body")
+        self.cfg._edge(head.id, body.id)
+        self.loops.append(_LoopCtx(head.id, after.id))
+        body_end = self._stmts(stmt.body, body)
+        self.loops.pop()
+        if body_end is not None:
+            self.cfg._edge(body_end.id, head.id)
+        if stmt.orelse:
+            other = self._block("while-else")
+            self.cfg._edge(head.id, other.id)
+            other_end = self._stmts(stmt.orelse, other)
+            if other_end is not None:
+                self.cfg._edge(other_end.id, after.id)
+        else:
+            self.cfg._edge(head.id, after.id)
+        return after
+
+    def _for(self, stmt: "ast.For | ast.AsyncFor", cur: Block) -> Block:
+        head = self._block("for-head")
+        self.cfg._edge(cur.id, head.id)
+        # the For node itself is the element: it defines its target
+        # from its iter on every entry into the body
+        self._add(head, stmt)
+        after = self._block("for-after")
+        body = self._block("for-body")
+        self.cfg._edge(head.id, body.id)
+        self.loops.append(_LoopCtx(head.id, after.id))
+        body_end = self._stmts(stmt.body, body)
+        self.loops.pop()
+        if body_end is not None:
+            self.cfg._edge(body_end.id, head.id)
+        if stmt.orelse:
+            other = self._block("for-else")
+            self.cfg._edge(head.id, other.id)
+            other_end = self._stmts(stmt.orelse, other)
+            if other_end is not None:
+                self.cfg._edge(other_end.id, after.id)
+        else:
+            self.cfg._edge(head.id, after.id)
+        return after
+
+    def _with(self, stmt: "ast.With | ast.AsyncWith",
+              cur: Block) -> "Block | None":
+        for item in stmt.items:
+            self._add(cur, item)
+        return self._stmts(stmt.body, cur)
+
+    def _try(self, stmt: ast.Try, cur: Block) -> "Block | None":
+        after = self._block("try-join")
+        final_entry: "Block | None" = None
+        if stmt.finalbody:
+            final_entry = self._block("finally")
+            self.finals.append(final_entry.id)
+        # handler heads exist before the body so raising blocks can be
+        # wired to them once the body is built
+        heads = []
+        for handler in stmt.handlers:
+            head = self._block(f"except:{_handler_label(handler)}")
+            self._add(head, handler)
+            heads.append(head)
+        ctx = _TryCtx([head.id for head in heads])
+        self.tries.append(ctx)
+        body = self._block("try-body")
+        self.cfg._edge(cur.id, body.id)
+        body_end = self._stmts(stmt.body, body)
+        self.tries.pop()
+        for bid in sorted(ctx.raising_blocks):
+            for head_id in ctx.handler_heads:
+                self.cfg._edge(bid, head_id)
+        # no handlers (try/finally): the raising path goes to finally
+        if not heads and final_entry is not None:
+            for bid in sorted(ctx.raising_blocks):
+                self.cfg._edge(bid, final_entry.id)
+        success_end = body_end
+        if stmt.orelse and body_end is not None:
+            other = self._block("try-else")
+            self.cfg._edge(body_end.id, other.id)
+            success_end = self._stmts(stmt.orelse, other)
+        ends = [] if success_end is None else [success_end]
+        for handler, head in zip(stmt.handlers, heads):
+            handler_end = self._stmts(handler.body, head)
+            if handler_end is not None:
+                ends.append(handler_end)
+        if stmt.finalbody:
+            self.finals.pop()
+            assert final_entry is not None
+            for end in ends:
+                self.cfg._edge(end.id, final_entry.id)
+            final_end = self._stmts(stmt.finalbody, final_entry)
+            if final_end is None:
+                return None
+            self.cfg._edge(final_end.id, after.id)
+            # the exceptional route re-raises after the finally body
+            self.cfg._edge(final_end.id, self.cfg.exit)
+            return after
+        for end in ends:
+            self.cfg._edge(end.id, after.id)
+        return after if after.preds else None
+
+    def _match(self, stmt: ast.Match, cur: Block) -> "Block | None":
+        self._add(cur, stmt.subject)
+        after = self._block("match-join")
+        matched_all = False
+        for case in stmt.cases:
+            head = self._block("case")
+            self.cfg._edge(cur.id, head.id)
+            # the match_case binds its pattern captures
+            self._add(head, case)
+            end = self._stmts(case.body, head)
+            if end is not None:
+                self.cfg._edge(end.id, after.id)
+            if (isinstance(case.pattern, ast.MatchAs)
+                    and case.pattern.pattern is None and case.guard is None):
+                matched_all = True
+        if not matched_all:
+            self.cfg._edge(cur.id, after.id)
+        return after if after.preds else None
+
+
+def _handler_label(handler: ast.ExceptHandler) -> str:
+    if handler.type is None:
+        return "bare"
+    return ast.dump(handler.type)[:24] if not isinstance(
+        handler.type, ast.Name) else handler.type.id
+
+
+def build_cfg(node: FunctionLike, name: str = "") -> CFG:
+    """Build the CFG of one function (or module) body."""
+    if not name:
+        name = getattr(node, "name", "<module>")
+    return _Builder(node, name).build()
+
+
+def iter_functions(tree: ast.Module) -> (
+        "Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]"):
+    """Yield ``(qualname, def-node)`` for every function in a module.
+
+    Nested functions and methods get dotted qualnames
+    (``Class.method``, ``outer.inner``) matching :mod:`callgraph`'s
+    naming.
+    """
+
+    def walk(body: list, prefix: str) -> (
+            "Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]"):
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{node.name}"
+                yield qual, node
+                yield from walk(node.body, f"{qual}.")
+            elif isinstance(node, ast.ClassDef):
+                yield from walk(node.body, f"{prefix}{node.name}.")
+
+    yield from walk(tree.body, "")

@@ -70,6 +70,53 @@ class CheckConfig:
         "tests/",
         "conftest.py",
     )
+    #: modules whose locals are taint-tracked into fingerprint sinks
+    #: (the dataflow companion to ``determinism_paths``: same surface,
+    #: but flows instead of direct references)
+    taint_paths: tuple[str, ...] = (
+        "repro/api/job.py",
+        "repro/api/cache.py",
+        "repro/api/report.py",
+        "repro/core/memo.py",
+        "repro/core/plan.py",
+        "repro/campaigns/spec.py",
+        "repro/campaigns/manifest.py",
+        "repro/service/state.py",
+    )
+    #: modules contributing to the global lock-acquisition graph
+    lock_order_paths: tuple[str, ...] = (
+        "repro/service/",
+        "repro/campaigns/",
+        "repro/api/cache.py",
+        "repro/core/memo.py",
+    )
+    #: modules audited for broad handlers on solver-reachable paths
+    exception_paths: tuple[str, ...] = (
+        "repro/core/",
+        "repro/service/",
+        "repro/campaigns/",
+        "repro/api/",
+    )
+    #: control-flow exceptions a broad handler must never swallow
+    guarded_exceptions: tuple[str, ...] = (
+        "SearchCancelled",
+        "WorkerDiedError",
+        "AdmissionError",
+    )
+    #: base classes of the guarded exceptions — a handler naming one of
+    #: these catches the guarded exceptions just as surely as
+    #: ``except Exception`` does
+    guarded_exception_bases: tuple[str, ...] = (
+        "RuntimeError",
+    )
+    #: solver-loop entry points (method suffixes) for reachability
+    solver_roots: tuple[str, ...] = (
+        "MistTuner.search",
+        "TuningService.submit",
+        "TuningService._run_search",
+        "TuningService._run_flight",
+        "run_campaign",
+    )
 
 
 DEFAULT_CONFIG = CheckConfig()

@@ -11,15 +11,21 @@ from __future__ import annotations
 
 from .async_safety import AsyncSafetyRule
 from .determinism import DeterminismRule
+from .exception_flow import ExceptionFlowRule
+from .lock_order import LockOrderRule
 from .locks import LockDisciplineRule
 from .registry_discipline import RegistryDisciplineRule
 from .serialization import SerializationRule
+from .taint import FingerprintTaintRule
 from .vectorization import VectorizationDisciplineRule
 
 __all__ = [
     "AsyncSafetyRule",
     "DeterminismRule",
+    "ExceptionFlowRule",
+    "FingerprintTaintRule",
     "LockDisciplineRule",
+    "LockOrderRule",
     "RegistryDisciplineRule",
     "SerializationRule",
     "VectorizationDisciplineRule",

@@ -18,6 +18,14 @@ rule flags:
 
 Wall-clock *display* timestamps are legitimate — suppress them with a
 justification: ``# repro: allow[determinism] wall-clock display only``.
+
+Since the dataflow engine landed, the rule additionally reports
+**flow** findings on the same engine the ``fingerprint-taint`` rule
+uses: a source laundered through locals into a fingerprint sink is a
+determinism violation even though no single line pattern-matches. The
+pattern-matched findings above are kept verbatim, so this rule's
+output is a strict superset of the pre-engine rule (the differential
+test pins that).
 """
 
 from __future__ import annotations
@@ -29,7 +37,7 @@ from ..findings import Finding
 from ..project import ModuleSource, Project, dotted_name
 from ..registry import register_rule
 
-__all__ = ["DeterminismRule"]
+__all__ = ["DeterminismRule", "legacy_findings"]
 
 #: dotted references that read the wall clock or equivalent
 _CLOCK_REFS = {
@@ -154,6 +162,23 @@ class _Visitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def legacy_findings(project: Project) -> list[Finding]:
+    """The pre-engine (PR 6) pattern-matched findings, verbatim.
+
+    Exposed so the differential test can pin the superset guarantee:
+    ``DeterminismRule.check(p) ⊇ legacy_findings(p)`` on any corpus.
+    """
+    findings: list[Finding] = []
+    for module in project.modules:
+        if not path_matches(module.path,
+                            project.config.determinism_paths):
+            continue
+        visitor = _Visitor(module)
+        visitor.visit(module.tree)
+        findings.extend(visitor.findings)
+    return findings
+
+
 @register_rule("determinism")
 class DeterminismRule:
     """Ban wall-clock, entropy, and hash-order in fingerprint paths."""
@@ -162,12 +187,15 @@ class DeterminismRule:
             "pure functions of their inputs")
 
     def check(self, project: Project) -> list[Finding]:
-        findings: list[Finding] = []
-        for module in project.modules:
-            if not path_matches(module.path,
-                                project.config.determinism_paths):
-                continue
-            visitor = _Visitor(module)
-            visitor.visit(module.tree)
-            findings.extend(visitor.findings)
+        # deferred import: rules.taint also imports this package
+        from .taint import taint_findings
+        findings = legacy_findings(project)
+        seen = {(f.path, f.line, f.message) for f in findings}
+        for flow in taint_findings(project,
+                                   project.config.determinism_paths,
+                                   rule="determinism"):
+            key = (flow.path, flow.line, flow.message)
+            if key not in seen:
+                seen.add(key)
+                findings.append(flow)
         return findings

@@ -1,0 +1,110 @@
+"""SARIF 2.1.0 emission for ``repro check --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format, OASIS) is what
+GitHub code scanning ingests: CI uploads the file with
+``github/codeql-action/upload-sarif`` and every finding annotates the
+PR diff at its exact line. The mapping is deliberately small and
+total:
+
+* one ``run`` per invocation, tool ``repro-check``;
+* one ``reportingDescriptor`` per rule that *ran* (its class docstring
+  becomes the short description, its ``hint`` the full one) — so the
+  rule index is stable even on clean runs;
+* one ``result`` per finding: ``ruleId``, ``level: "error"`` (the
+  check job fails on any unsuppressed finding, so every finding is
+  blocking by definition), message text of ``message — hint``, and a
+  physical location with the repo-relative URI.
+
+Paths are emitted as given (the CLI passes paths relative to the
+checkout root, which is what code scanning expects).
+"""
+
+from __future__ import annotations
+
+from .findings import Finding
+from .registry import rule_registry
+from .runner import CheckResult
+
+__all__ = ["to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+_TOOL_NAME = "repro-check"
+_INFO_URI = "https://github.com/mist-repro/mist-repro"
+
+
+def _rule_descriptor(rule_id: str) -> dict:
+    registry = rule_registry()
+    cls = registry.get(rule_id)
+    doc = ""
+    hint = ""
+    if cls is not None:
+        doc = (cls.__doc__ or "").strip().splitlines()[0] if cls.__doc__ \
+            else ""
+        hint = getattr(cls, "hint", "") or doc
+    descriptor = {
+        "id": rule_id,
+        "name": "".join(part.capitalize()
+                        for part in rule_id.split("-")),
+        "defaultConfiguration": {"level": "error"},
+    }
+    if doc:
+        descriptor["shortDescription"] = {"text": doc}
+    if hint:
+        descriptor["fullDescription"] = {"text": hint}
+    return descriptor
+
+
+def _result(finding: Finding, rule_index: dict) -> dict:
+    text = finding.message
+    if finding.hint:
+        text = f"{finding.message} — {finding.hint}"
+    result = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": text},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path.replace("\\", "/"),
+                    "uriBaseId": "%SRCROOT%",
+                },
+                "region": {"startLine": max(1, finding.line)},
+            },
+        }],
+    }
+    if finding.rule in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule]
+    return result
+
+
+def to_sarif(result: CheckResult, *,
+             tool_version: "str | None" = None) -> dict:
+    """Render one check run as a SARIF 2.1.0 log dict."""
+    if tool_version is None:
+        from repro import __version__ as tool_version
+    # findings can carry rule ids outside the configured run (the
+    # unused-suppression meta-rule): include those descriptors too
+    rule_ids = list(dict.fromkeys(
+        list(result.rules) + [f.rule for f in result.findings]))
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": _TOOL_NAME,
+                    "version": tool_version,
+                    "informationUri": _INFO_URI,
+                    "rules": [_rule_descriptor(rule_id)
+                              for rule_id in rule_ids],
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": [_result(f, rule_index)
+                        for f in result.findings],
+        }],
+    }

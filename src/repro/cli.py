@@ -738,6 +738,11 @@ def _cmd_check(args) -> int:
             doc = (registry[name].__doc__ or "").strip().splitlines()
             print(f"{name:22s} {doc[0] if doc else ''}")
         return 0
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)} — "
+              "refusing to silently check nothing", file=sys.stderr)
+        return 2
     try:
         result = run_check(args.paths, rules=args.rule or None)
     except RuleNotFoundError as exc:
@@ -745,6 +750,9 @@ def _cmd_check(args) -> int:
         return 2
     if args.format == "json":
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        from repro.analysis.sarif import to_sarif
+        print(json.dumps(to_sarif(result), indent=2, sort_keys=True))
     else:
         for finding in result.findings:
             print(finding.format())
@@ -1017,9 +1025,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--rule", action="append", metavar="RULE-ID",
                          help="run only this rule (repeatable; "
                               "default: all registered)")
-    p_check.add_argument("--format", choices=("text", "json"),
+    p_check.add_argument("--format", choices=("text", "json", "sarif"),
                          default="text",
-                         help="finding output format (default: text)")
+                         help="finding output format (default: text); "
+                              "sarif emits a SARIF 2.1.0 log for "
+                              "GitHub code scanning")
     p_check.add_argument("--list-rules", action="store_true",
                          help="list registered rules and exit")
     p_check.set_defaults(func=_cmd_check)

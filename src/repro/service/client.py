@@ -18,9 +18,14 @@ import json
 import time
 import urllib.error
 import urllib.request
+from collections.abc import Iterable
+from typing import TYPE_CHECKING, Any
 
 from repro.api.job import TuningJob
 from repro.api.report import SolveReport
+
+if TYPE_CHECKING:
+    from repro.hardware import ClusterDelta
 
 __all__ = ["Client", "ServiceError"]
 
@@ -34,11 +39,11 @@ class ServiceError(RuntimeError):
     """
 
     def __init__(self, message: str, *, status: int | None = None,
-                 payload: dict | None = None,
+                 payload: dict[str, Any] | None = None,
                  retry_after: int | None = None):
         super().__init__(message)
         self.status = status
-        self.payload = payload or {}
+        self.payload: dict[str, Any] = payload or {}
         self.retry_after = retry_after
 
 
@@ -57,7 +62,7 @@ class Client:
         self.client_id = client_id
 
     def _request(self, method: str, path: str,
-                 payload: dict | None = None) -> dict:
+                 payload: dict[str, Any] | None = None) -> dict[str, Any]:
         data = json.dumps(payload).encode() if payload is not None else None
         headers = {"Content-Type": "application/json"}
         if self.client_id:
@@ -92,19 +97,20 @@ class Client:
 
     # -- one-exchange endpoints -------------------------------------------
 
-    def health(self) -> dict:
+    def health(self) -> dict[str, Any]:
         return self._request("GET", "/healthz")
 
-    def metrics(self) -> dict:
+    def metrics(self) -> dict[str, Any]:
         return self._request("GET", "/metrics")
 
-    def submit(self, job: TuningJob, solver: str = "mist") -> dict:
+    def submit(self, job: TuningJob, solver: str = "mist") -> dict[str, Any]:
         """``POST /jobs``; returns the job record (see ``id``/``status``)."""
         return self._request("POST", "/jobs",
                              {"job": job.to_dict(), "solver": solver})
 
-    def replan(self, job: TuningJob, delta, solver: str = "mist", *,
-               budget_seconds: float = 0.0) -> dict:
+    def replan(self, job: TuningJob, delta: "ClusterDelta | dict[str, Any]",
+               solver: str = "mist", *,
+               budget_seconds: float = 0.0) -> dict[str, Any]:
         """``POST /replan``: warm re-tune ``job`` after a cluster change.
 
         ``delta`` is a :class:`~repro.hardware.ClusterDelta` or its
@@ -120,16 +126,21 @@ class Client:
                               "solver": solver,
                               "budget_seconds": budget_seconds})
 
-    def jobs(self) -> list[dict]:
-        return self._request("GET", "/jobs")["jobs"]
+    def jobs(self) -> list[dict[str, Any]]:
+        jobs: list[dict[str, Any]] = self._request("GET", "/jobs")["jobs"]
+        return jobs
 
-    def job(self, job_id: str) -> dict:
+    def job(self, job_id: str) -> dict[str, Any]:
         return self._request("GET", f"/jobs/{job_id}")
 
-    def cancel(self, job_id: str) -> dict:
+    def cancel(self, job_id: str) -> dict[str, Any]:
         return self._request("POST", f"/jobs/{job_id}/cancel")
 
-    def submit_campaign(self, cells, name: str = "campaign") -> dict:
+    def submit_campaign(
+        self,
+        cells: Iterable["dict[str, Any] | TuningJob | tuple[TuningJob, str]"],
+        name: str = "campaign",
+    ) -> dict[str, Any]:
         """``POST /campaigns``: submit a batch of cells as one campaign.
 
         Each cell is a ``{"job": job_dict, "solver": name}`` dict, a
@@ -137,7 +148,7 @@ class Client:
         ``(job, solver)`` pair. Returns the campaign record; its
         ``cells`` list carries one job record per cell, in order.
         """
-        normalized = []
+        normalized: list[dict[str, Any]] = []
         for cell in cells:
             if isinstance(cell, dict):
                 normalized.append(cell)
@@ -149,10 +160,12 @@ class Client:
         return self._request("POST", "/campaigns",
                              {"name": name, "cells": normalized})
 
-    def campaigns(self) -> list[dict]:
-        return self._request("GET", "/campaigns")["campaigns"]
+    def campaigns(self) -> list[dict[str, Any]]:
+        campaigns: list[dict[str, Any]] = \
+            self._request("GET", "/campaigns")["campaigns"]
+        return campaigns
 
-    def campaign(self, campaign_id: str) -> dict:
+    def campaign(self, campaign_id: str) -> dict[str, Any]:
         return self._request("GET", f"/campaigns/{campaign_id}")
 
     def plan(self, fingerprint: str,
@@ -172,7 +185,7 @@ class Client:
     # -- polling helpers ---------------------------------------------------
 
     def wait(self, job_id: str, *, timeout: float | None = None,
-             poll_interval: float = 0.1) -> dict:
+             poll_interval: float = 0.1) -> dict[str, Any]:
         """Poll until the job finishes; returns its final record."""
         deadline = (time.monotonic() + timeout) if timeout is not None \
             else None
@@ -188,7 +201,7 @@ class Client:
 
     def wait_campaign(self, campaign_id: str, *,
                       timeout: float | None = None,
-                      poll_interval: float = 0.1) -> dict:
+                      poll_interval: float = 0.1) -> dict[str, Any]:
         """Poll until every cell finishes; returns the final record."""
         deadline = (time.monotonic() + timeout) if timeout is not None \
             else None

@@ -22,12 +22,17 @@ import sys
 import threading
 import time
 from collections import deque
+from collections.abc import Iterator, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import IO, TYPE_CHECKING, Any
 
 from .client import Client, ServiceError
 from .server import TuningService
+
+if TYPE_CHECKING:
+    from repro.api import PlanCache
 
 __all__ = ["SpawnedDaemon", "daemon_command", "running_service",
            "spawn_daemon"]
@@ -36,9 +41,9 @@ _URL_RE = re.compile(r"http://[\d.]+:\d+")
 
 
 def daemon_command(*, workers: int = 1, worker_mode: str = "thread",
-                   cache_dir: "str | None" = None,
+                   cache_dir: str | None = None,
                    host: str = "127.0.0.1",
-                   extra_args: "tuple | list" = ()) -> list:
+                   extra_args: Sequence[str] = ()) -> list[str]:
     """The ``repro serve`` argv for a throwaway ephemeral-port daemon."""
     cmd = [sys.executable, "-m", "repro", "serve", "--host", host,
            "--port", "0", "--workers", str(workers),
@@ -53,9 +58,9 @@ class SpawnedDaemon:
     """A live ``repro serve`` subprocess and where it listens."""
 
     url: str
-    process: subprocess.Popen
+    process: subprocess.Popen[str]
     #: most recent daemon output lines (banner excluded), for diagnostics
-    output: deque = field(default_factory=lambda: deque(maxlen=200))
+    output: deque[str] = field(default_factory=lambda: deque(maxlen=200))
 
     def stop(self, timeout: float = 10.0) -> None:
         self.process.terminate()
@@ -66,7 +71,7 @@ class SpawnedDaemon:
             self.process.wait(timeout=timeout)
 
 
-def _drain(stream, sink: deque) -> None:
+def _drain(stream: IO[str], sink: deque[str]) -> None:
     """Background reader: keep the daemon's stdout pipe from filling."""
     for line in stream:
         sink.append(line.rstrip("\n"))
@@ -74,9 +79,9 @@ def _drain(stream, sink: deque) -> None:
 
 @contextmanager
 def spawn_daemon(*, workers: int = 1, worker_mode: str = "thread",
-                 cache_dir: "str | None" = None,
-                 extra_args: "tuple | list" = (),
-                 startup_timeout: float = 120.0):
+                 cache_dir: str | None = None,
+                 extra_args: Sequence[str] = (),
+                 startup_timeout: float = 120.0) -> Iterator[SpawnedDaemon]:
     """Run ``repro serve`` as a real subprocess; yield a SpawnedDaemon.
 
     ``PYTHONPATH`` is pointed at this package's source tree so the
@@ -94,12 +99,12 @@ def spawn_daemon(*, workers: int = 1, worker_mode: str = "thread",
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True, env=env,
     )
-    daemon = None
-    drain = None
+    daemon: SpawnedDaemon | None = None
+    drain: threading.Thread | None = None
     try:
         assert process.stdout is not None
         deadline = time.monotonic() + startup_timeout
-        url = None
+        url: str | None = None
         while url is None:
             line = process.stdout.readline()
             if not line:
@@ -149,9 +154,11 @@ def spawn_daemon(*, workers: int = 1, worker_mode: str = "thread",
 
 
 @contextmanager
-def running_service(*, workers: int = 2, cache=None,
-                    client_timeout: float = 10.0, client_id=None,
-                    **service_kwargs):
+def running_service(*, workers: int = 2, cache: "PlanCache | None" = None,
+                    client_timeout: float = 10.0,
+                    client_id: str | None = None,
+                    **service_kwargs: Any,
+                    ) -> Iterator[tuple[TuningService, Client]]:
     """In-thread daemon + bound client (tests, notebooks, examples).
 
     Yields ``(service, client)``; the daemon is stopped on exit.

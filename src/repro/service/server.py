@@ -34,20 +34,32 @@ import sys
 import threading
 import time
 import traceback
+from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
 from repro import __version__
-from repro.api import PlanCache, SolverNotFoundError, TuningJob, solve
+from repro.api import (
+    PlanCache,
+    SolveReport,
+    SolverNotFoundError,
+    TuningJob,
+    solve,
+)
 from repro.api.registry import solver_names
 from repro.api.replan import delta_job
 from repro.api.replan import replan as api_replan
+from repro.core.plan import TrainingPlan
 from repro.core.tuner import SearchCancelled
 from repro.hardware import ClusterDelta, DeltaError
 
 from .state import CampaignRecord, InFlight, JobRecord, ServiceMetrics
-from .workers import make_tier
+from .workers import ProgressFn, SolveFn, StopFn, make_tier
+
+#: one flight's search body: ``runner(progress, should_stop) -> report``
+_Runner = Callable[[ProgressFn, StopFn], SolveReport]
 
 __all__ = ["AdmissionError", "ServiceHandle", "TuningService",
            "UnknownCampaignError", "UnknownJobError"]
@@ -92,15 +104,15 @@ _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
 
 class _HttpError(Exception):
     def __init__(self, status: int, message: str, *,
-                 headers: dict | None = None,
-                 extra: dict | None = None):
+                 headers: dict[str, str] | None = None,
+                 extra: dict[str, Any] | None = None):
         super().__init__(message)
         self.status = status
         self.message = message
         #: extra response headers (e.g. ``Retry-After`` on a 429)
-        self.headers = headers or {}
+        self.headers: dict[str, str] = headers or {}
         #: extra JSON payload fields alongside ``{"error": ...}``
-        self.extra = extra or {}
+        self.extra: dict[str, Any] = extra or {}
 
 
 @dataclass
@@ -131,7 +143,8 @@ class TuningService:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  workers: int = 2, cache: PlanCache | None = None,
-                 solve_fn=None, worker_mode: str = "thread",
+                 solve_fn: SolveFn | None = None,
+                 worker_mode: str = "thread",
                  max_pending: int = 0, quota: int = 0,
                  worker_retries: int = 1):
         if workers < 1:
@@ -151,7 +164,7 @@ class TuningService:
         self.quota = quota
         self.cache = cache if cache is not None else PlanCache()
         self.metrics = ServiceMetrics()
-        self._solve = solve_fn if solve_fn is not None else solve
+        self._solve: SolveFn = solve_fn if solve_fn is not None else solve
         self._tier = make_tier(worker_mode, workers, solve_fn=solve_fn,
                                retries=worker_retries)
         self._jobs: dict[str, JobRecord] = {}
@@ -225,8 +238,10 @@ class TuningService:
             self._pool.submit(self._run_flight, flight, job, solver)
         return record
 
-    def submit_replan(self, job: TuningJob, delta: "ClusterDelta | dict",
-                      solver: str = "mist", *, client: str = ""):
+    def submit_replan(self, job: TuningJob,
+                      delta: "ClusterDelta | dict[str, Any]",
+                      solver: str = "mist", *, client: str = "",
+                      ) -> tuple[JobRecord, TrainingPlan | None]:
         """Register an elastic replan: re-tune ``job`` after ``delta``.
 
         Returns ``(record, incumbent_plan)``. The record tracks the
@@ -366,7 +381,8 @@ class TuningService:
             else:
                 self._clients[record.client] = held - 1
 
-    def submit_campaign(self, cells: list, name: str = "campaign", *,
+    def submit_campaign(self, cells: list[dict[str, Any]],
+                        name: str = "campaign", *,
                         client: str = "") -> CampaignRecord:
         """Register a batch of ``{"job": ..., "solver": ...}`` cells.
 
@@ -432,7 +448,7 @@ class TuningService:
             self._release_client(record)
         return record
 
-    def worker_pids(self) -> list:
+    def worker_pids(self) -> list[int | None]:
         """Routed worker-process pids (empty list in thread mode)."""
         return self._tier.worker_pids()
 
@@ -446,7 +462,8 @@ class TuningService:
                 progress=progress, should_stop=should_stop))
 
     def _run_replan_flight(self, flight: InFlight, base_job: TuningJob,
-                           delta: ClusterDelta, solver: str, plan) -> None:
+                           delta: ClusterDelta, solver: str,
+                           plan: TrainingPlan | None) -> None:
         """Supervisor-thread body of one warm-started replan search."""
         self._run_search(
             flight,
@@ -454,7 +471,7 @@ class TuningService:
                 base_job, delta, solver, cache=self.cache, incumbent=plan,
                 progress=progress, should_stop=should_stop))
 
-    def _run_search(self, flight: InFlight, runner) -> None:
+    def _run_search(self, flight: InFlight, runner: _Runner) -> None:
         """Run one search (``runner(progress, should_stop)``) for a flight."""
         flight.mark_running()
 
@@ -510,7 +527,7 @@ class TuningService:
                 self.metrics.observe_job(record.wait_seconds,
                                          record.duration_seconds)
 
-    def _metrics_body(self) -> dict:
+    def _metrics_body(self) -> dict[str, Any]:
         with self._lock:
             in_flight = len(self._inflight)
             tracked = len(self._jobs)
@@ -521,12 +538,12 @@ class TuningService:
             worker_tier=self._tier.stats(),
             max_pending=self.max_pending, quota=self.quota)
 
-    def _jobs_body(self) -> dict:
+    def _jobs_body(self) -> dict[str, Any]:
         with self._lock:
             records = list(self._jobs.values())
         return {"jobs": [r.to_dict(include_report=False) for r in records]}
 
-    def _campaigns_body(self) -> dict:
+    def _campaigns_body(self) -> dict[str, Any]:
         with self._lock:
             campaigns = list(self._campaigns.values())
         return {"campaigns": [c.to_dict(include_cells=False)
@@ -548,8 +565,9 @@ class TuningService:
 
     async def _handle_conn(self, reader: asyncio.StreamReader,
                            writer: asyncio.StreamWriter) -> None:
-        status, payload = 500, {"error": "internal error"}
-        extra_headers: dict = {}
+        status = 500
+        payload: dict[str, Any] = {"error": "internal error"}
+        extra_headers: dict[str, str] = {}
         try:
             method, path, headers, body = await self._read_request(reader)
             status, payload = await self._dispatch(method, path, headers,
@@ -584,7 +602,8 @@ class TuningService:
             writer.close()
 
     @staticmethod
-    async def _read_request(reader) -> tuple[str, str, dict, bytes]:
+    async def _read_request(reader: asyncio.StreamReader,
+                            ) -> tuple[str, str, dict[str, str], bytes]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         parts = request_line.split()
         if len(parts) != 3:
@@ -609,8 +628,8 @@ class TuningService:
                 if content_length else b"")
         return method, path, headers, body
 
-    async def _dispatch(self, method: str, path: str, headers: dict,
-                        body: bytes) -> tuple[int, dict]:
+    async def _dispatch(self, method: str, path: str, headers: dict[str, str],
+                        body: bytes) -> tuple[int, dict[str, Any]]:
         split = urlsplit(path)
         segments = [s for s in split.path.split("/") if s]
         query = {k: v[-1] for k, v in parse_qs(split.query).items()}
@@ -787,7 +806,7 @@ class TuningService:
             time.sleep(0.02)
 
     @staticmethod
-    def _parse_json(body: bytes) -> dict:
+    def _parse_json(body: bytes) -> dict[str, Any]:
         try:
             payload = json.loads(body.decode() or "{}")
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -800,14 +819,15 @@ class TuningService:
 
     async def _main(self, ready: threading.Event | None = None,
                     banner: bool = False) -> None:
-        self._loop = asyncio.get_running_loop()
-        self._stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        stop_event = asyncio.Event()
+        self._loop = loop
+        self._stop_event = stop_event
         try:
             # graceful SIGTERM: without this, terminating the daemon
             # orphans process-mode workers (they hold the inherited
             # stdout pipe open, wedging any parent draining it)
-            self._loop.add_signal_handler(signal.SIGTERM,
-                                          self._stop_event.set)
+            loop.add_signal_handler(signal.SIGTERM, stop_event.set)
         except (NotImplementedError, ValueError, RuntimeError):
             pass  # non-main thread or unsupported platform
         server = await asyncio.start_server(self._handle_conn,
@@ -815,7 +835,7 @@ class TuningService:
         self.port = server.sockets[0].getsockname()[1]
         # spawn worker processes (process mode) before declaring ready
         # so the first request never pays process start-up latency
-        await self._loop.run_in_executor(None, self._tier.warm)
+        await loop.run_in_executor(None, self._tier.warm)
         if banner:
             print(f"repro serve: listening on http://{self.host}:{self.port}"
                   f" ({self.workers} {self.worker_mode} workers, "
@@ -824,7 +844,7 @@ class TuningService:
         if ready is not None:
             ready.set()
         async with server:
-            await self._stop_event.wait()
+            await stop_event.wait()
         self._shutting_down = True
         self._pool.shutdown(wait=True, cancel_futures=True)
         self._tier.shutdown()

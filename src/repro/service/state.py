@@ -13,7 +13,9 @@ import threading
 import time
 import uuid
 from collections import deque
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.api.job import TuningJob
 from repro.api.report import SolveReport
@@ -26,7 +28,9 @@ __all__ = ["CampaignRecord", "JOB_STATES", "InFlight", "JobRecord",
 LATENCY_WINDOW = 2048
 
 
-def percentiles(samples, points=(50.0, 95.0, 99.0)) -> dict:
+def percentiles(samples: Iterable[float],
+                points: Sequence[float] = (50.0, 95.0, 99.0),
+                ) -> dict[str, float]:
     """Nearest-rank percentiles of ``samples``, keyed ``"p50"`` etc.
 
     Empty input yields all-zero values (the service reports them
@@ -35,7 +39,7 @@ def percentiles(samples, points=(50.0, 95.0, 99.0)) -> dict:
     statistic.
     """
     ordered = sorted(samples)
-    out = {}
+    out: dict[str, float] = {}
     for point in points:
         key = f"p{point:g}"
         if not ordered:
@@ -76,7 +80,7 @@ class JobRecord:
     _started_monotonic: float | None = field(default=None, repr=False)
     _finished_monotonic: float | None = field(default=None, repr=False)
     #: latest (S, G)-cell progress relayed by the solver, if any
-    progress: dict | None = None
+    progress: dict[str, int] | None = None
     error: str | None = None
     report: SolveReport | None = None
     #: True when the answer came straight from the shared PlanCache
@@ -150,9 +154,9 @@ class JobRecord:
             self._finished_monotonic = time.monotonic()
             return True
 
-    def to_dict(self, *, include_report: bool = True) -> dict:  # repro: allow[serialization] one-way wire snapshot, records are never rebuilt from JSON
+    def to_dict(self, *, include_report: bool = True) -> dict[str, Any]:  # repro: allow[serialization] one-way wire snapshot, records are never rebuilt from JSON
         with self._lock:
-            out = {
+            out: dict[str, Any] = {
                 "id": self.id,
                 "solver": self.solver,
                 "fingerprint": self.fingerprint,
@@ -206,7 +210,7 @@ class CampaignRecord:
             return "failed"
         return "done"
 
-    def counters(self) -> dict:
+    def counters(self) -> dict[str, int]:
         statuses = [record.status for record in self.records]
         return {
             "cells": len(self.records),
@@ -217,8 +221,8 @@ class CampaignRecord:
             "coalesced": sum(1 for r in self.records if r.coalesced),
         }
 
-    def to_dict(self, *, include_cells: bool = True) -> dict:  # repro: allow[serialization] one-way wire snapshot, records are never rebuilt from JSON
-        out = {
+    def to_dict(self, *, include_cells: bool = True) -> dict[str, Any]:  # repro: allow[serialization] one-way wire snapshot, records are never rebuilt from JSON
+        out: dict[str, Any] = {
             "id": self.id,
             "name": self.name,
             "created_at": self.created_at,
@@ -240,10 +244,10 @@ class InFlight:
     only when *every* attached record asked for cancellation.
     """
 
-    def __init__(self, key: tuple[str, str], record: JobRecord):
+    def __init__(self, key: tuple[str, str], record: JobRecord) -> None:
         self.key = key
         self._lock = threading.Lock()
-        self._records = [record]
+        self._records: list[JobRecord] = [record]
         self._running = False
 
     def attach(self, record: JobRecord) -> None:
@@ -303,15 +307,15 @@ class ServiceMetrics:
         "memo_hits", "memo_misses",
     )
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._counts = dict.fromkeys(self._COUNTERS, 0)
-        self._search = dict.fromkeys(self._SEARCH_COUNTERS, 0)
+        self._counts: dict[str, int] = dict.fromkeys(self._COUNTERS, 0)
+        self._search: dict[str, int] = dict.fromkeys(self._SEARCH_COUNTERS, 0)
         self._solve_seconds_total = 0.0
         self._solve_count = 0
         #: sliding windows of per-job end-to-end latency / queue wait
-        self._latency = deque(maxlen=LATENCY_WINDOW)
-        self._wait = deque(maxlen=LATENCY_WINDOW)
+        self._latency: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._wait: deque[float] = deque(maxlen=LATENCY_WINDOW)
         self._started_at = time.time()  # repro: allow[determinism] display timestamp
         self._started_monotonic = time.monotonic()
 
@@ -326,8 +330,8 @@ class ServiceMetrics:
             self._solve_seconds_total += float(seconds)
             self._solve_count += 1
 
-    def observe_job(self, wait_seconds: "float | None",
-                    duration_seconds: "float | None") -> None:
+    def observe_job(self, wait_seconds: float | None,
+                    duration_seconds: float | None) -> None:
         """Record one finished job's queue wait + end-to-end latency."""
         if duration_seconds is None:
             return
@@ -343,7 +347,7 @@ class ServiceMetrics:
                 return 0.0
             return self._solve_seconds_total / self._solve_count
 
-    def observe_search(self, search_stats: dict) -> None:
+    def observe_search(self, search_stats: Mapping[str, Any]) -> None:
         """Fold one report's prune/memo counters into the ledger."""
         if not search_stats:
             return
@@ -355,8 +359,8 @@ class ServiceMetrics:
 
     def snapshot(self, *, in_flight: int = 0, tracked: int = 0,
                  workers: int = 0, campaigns_tracked: int = 0,
-                 worker_tier: "dict | None" = None,
-                 max_pending: int = 0, quota: int = 0) -> dict:
+                 worker_tier: Mapping[str, Any] | None = None,
+                 max_pending: int = 0, quota: int = 0) -> dict[str, Any]:
         with self._lock:
             counts = dict(self._counts)
             search = dict(self._search)

@@ -40,8 +40,11 @@ import multiprocessing
 import os
 import threading
 import time
+from collections.abc import Callable
+from concurrent.futures import Future
 from concurrent.futures import ProcessPoolExecutor  # repro: allow[registry-discipline] stdlib pool, not the campaign executor of the same name
 from concurrent.futures import TimeoutError as _FutureTimeoutError
+from typing import Any
 
 from repro.api import PlanCache, SolveReport, TuningJob, solve
 from repro.core.tuner import SearchCancelled
@@ -49,18 +52,27 @@ from repro.core.tuner import SearchCancelled
 try:  # BrokenProcessPool moved around across 3.x; be explicit
     from concurrent.futures.process import BrokenProcessPool
 except ImportError:  # pragma: no cover - py3.10+ always has it
-    from concurrent.futures import BrokenExecutor as BrokenProcessPool
+    from concurrent.futures import (  # type: ignore[assignment]
+        BrokenExecutor as BrokenProcessPool,
+    )
 
 __all__ = ["ProcessWorkerTier", "ThreadWorkerTier", "WorkerDiedError",
            "make_tier"]
+
+#: injected solver entry point — must match :func:`repro.api.solve`
+SolveFn = Callable[..., SolveReport]
+#: per-cell progress relay: ``progress(done, total)``
+ProgressFn = Callable[[int, int], None]
+#: cooperative cancellation poll: True means stop searching
+StopFn = Callable[[], bool]
 
 
 class WorkerDiedError(RuntimeError):
     """A routed worker process died mid-search (retries exhausted)."""
 
 
-def _process_solve(solver: str, job_dict: dict,
-                   cache_dir: "str | None") -> tuple[int, dict, bool]:
+def _process_solve(solver: str, job_dict: dict[str, Any],
+                   cache_dir: str | None) -> tuple[int, dict[str, Any], bool]:
     """Worker-process body: solve one job, return a picklable triple.
 
     Mirrors the campaigns process-pool executor's cache-sharing
@@ -90,12 +102,14 @@ class ThreadWorkerTier:
 
     mode = "thread"
 
-    def __init__(self, workers: int, *, solve_fn=None):
+    def __init__(self, workers: int, *, solve_fn: SolveFn | None = None):
         self.workers = int(workers)
-        self._solve = solve_fn if solve_fn is not None else solve
+        self._solve: SolveFn = solve_fn if solve_fn is not None else solve
 
-    def run(self, job: TuningJob, solver: str, *, cache=None,
-            progress=None, should_stop=None) -> SolveReport:
+    def run(self, job: TuningJob, solver: str, *,
+            cache: PlanCache | None = None,
+            progress: ProgressFn | None = None,
+            should_stop: StopFn | None = None) -> SolveReport:
         return self._solve(job, solver, cache=cache,
                            progress=progress, should_stop=should_stop)
 
@@ -104,10 +118,10 @@ class ThreadWorkerTier:
         del timeout
         return []
 
-    def worker_pids(self) -> list:
+    def worker_pids(self) -> list[int | None]:
         return []
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         return {"mode": self.mode, "workers": self.workers, "restarts": 0}
 
     def shutdown(self, wait: bool = False) -> None:
@@ -138,8 +152,8 @@ class ProcessWorkerTier:
         self.poll_interval = float(poll_interval)
         self._ctx = multiprocessing.get_context(start_method)
         self._lock = threading.Lock()
-        self._pools: list = [None] * workers
-        self._pids: list = [None] * workers
+        self._pools: list[ProcessPoolExecutor | None] = [None] * workers
+        self._pids: list[int | None] = [None] * workers
         self._restarts = 0
 
     # -- routing -----------------------------------------------------------
@@ -172,8 +186,10 @@ class ProcessWorkerTier:
 
     # -- search ------------------------------------------------------------
 
-    def run(self, job: TuningJob, solver: str, *, cache=None,
-            progress=None, should_stop=None) -> SolveReport:
+    def run(self, job: TuningJob, solver: str, *,
+            cache: PlanCache | None = None,
+            progress: ProgressFn | None = None,
+            should_stop: StopFn | None = None) -> SolveReport:
         del progress  # no cross-process progress channel (see module doc)
         if should_stop is not None and should_stop():
             raise SearchCancelled("cancelled before dispatch to a worker")
@@ -204,7 +220,8 @@ class ProcessWorkerTier:
             report.from_cache = from_cache
             return report
 
-    def _await(self, future, should_stop) -> tuple[int, dict, bool]:
+    def _await(self, future: Future[tuple[int, dict[str, Any], bool]],
+               should_stop: StopFn | None) -> tuple[int, dict[str, Any], bool]:
         """Poll the worker future, honoring dispatch-side cancellation."""
         while True:
             try:
@@ -230,7 +247,7 @@ class ProcessWorkerTier:
         futures = [(index, self._pool_for(index).submit(_process_ping))
                    for index in range(self.workers)]
         deadline = time.monotonic() + timeout
-        pids = []
+        pids: list[int] = []
         for index, future in futures:
             remaining = max(0.1, deadline - time.monotonic())
             pid = future.result(timeout=remaining)
@@ -239,12 +256,12 @@ class ProcessWorkerTier:
             pids.append(pid)
         return pids
 
-    def worker_pids(self) -> list:
+    def worker_pids(self) -> list[int | None]:
         """Last-known pid per slot (``None`` until first contact)."""
         with self._lock:
             return list(self._pids)
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         with self._lock:
             restarts = self._restarts
         return {"mode": self.mode, "workers": self.workers,
@@ -259,7 +276,8 @@ class ProcessWorkerTier:
             pool.shutdown(wait=wait, cancel_futures=True)
 
 
-def make_tier(mode: str, workers: int, *, solve_fn=None, retries: int = 1):
+def make_tier(mode: str, workers: int, *, solve_fn: SolveFn | None = None,
+              retries: int = 1) -> "ThreadWorkerTier | ProcessWorkerTier":
     """Build the worker tier for ``repro serve --worker-mode <mode>``."""
     if mode == "thread":
         return ThreadWorkerTier(workers, solve_fn=solve_fn)

@@ -1,0 +1,129 @@
+"""Call-graph resolution: names, methods, constructors, registries."""
+
+from repro.analysis import CallGraph, CheckConfig, Project
+
+CONFIG = CheckConfig()
+
+
+def graph_of(sources):
+    return CallGraph.build(Project.from_sources(sources, config=CONFIG))
+
+
+def test_module_level_and_imported_function_edges():
+    graph = graph_of({
+        "pkg/a.py": "def helper():\n    pass\n"
+                    "def caller():\n    helper()\n",
+        "pkg/b.py": "from pkg.a import helper\n"
+                    "def remote():\n    helper()\n",
+    })
+    assert "pkg/a.py::helper" in graph.callees("pkg/a.py::caller")
+    assert "pkg/a.py::helper" in graph.callees("pkg/b.py::remote")
+
+
+def test_self_method_and_constructor_resolution():
+    graph = graph_of({
+        "pkg/svc.py":
+            "class Service:\n"
+            "    def __init__(self):\n"
+            "        self.jobs = []\n"
+            "    def submit(self, job):\n"
+            "        self._admit(job)\n"
+            "    def _admit(self, job):\n"
+            "        pass\n"
+            "def boot():\n"
+            "    return Service()\n",
+    })
+    assert "pkg/svc.py::Service._admit" in \
+        graph.callees("pkg/svc.py::Service.submit")
+    assert "pkg/svc.py::Service.__init__" in graph.callees("pkg/svc.py::boot")
+
+
+def test_unique_method_heuristic_skips_ambiguous_names():
+    graph = graph_of({
+        "pkg/m.py":
+            "class A:\n"
+            "    def only_here(self):\n"
+            "        pass\n"
+            "    def shared(self):\n"
+            "        pass\n"
+            "class B:\n"
+            "    def shared(self):\n"
+            "        pass\n"
+            "def use(obj):\n"
+            "    obj.only_here()\n"
+            "    obj.shared()\n",
+    })
+    callees = graph.callees("pkg/m.py::use")
+    assert "pkg/m.py::A.only_here" in callees
+    # two classes define shared(): no edge rather than a wrong edge
+    assert not any(q.endswith(".shared") for q in callees)
+
+
+def test_callable_reference_arguments_count_as_calls():
+    graph = graph_of({
+        "pkg/exec.py":
+            "class Tier:\n"
+            "    def submit(self, job):\n"
+            "        pass\n"
+            "    def run(self, pool, job):\n"
+            "        pool.run_in_executor(None, self.submit, job)\n",
+    })
+    assert "pkg/exec.py::Tier.submit" in graph.callees("pkg/exec.py::Tier.run")
+
+
+def test_register_decorations_indexed():
+    graph = graph_of({
+        "pkg/impl.py":
+            "from pkg.registry import register_solver\n"
+            "@register_solver('mist')\n"
+            "class MistSolver:\n"
+            "    def solve(self):\n"
+            "        pass\n"
+            "@register_solver('greedy')\n"
+            "def greedy_solve():\n"
+            "    pass\n",
+    })
+    assert graph.registrations["solver"] == {
+        "mist": "pkg/impl.py::MistSolver",
+        "greedy": "pkg/impl.py::greedy_solve",
+    }
+
+
+def test_reachability_follows_registry_indirection():
+    graph = graph_of({
+        "pkg/impl.py":
+            "from pkg.registry import register_solver\n"
+            "@register_solver('mist')\n"
+            "class MistSolver:\n"
+            "    def solve(self):\n"
+            "        self._inner()\n"
+            "    def _inner(self):\n"
+            "        pass\n",
+        "pkg/drive.py":
+            "from pkg.registry import get_solver\n"
+            "def tune(name):\n"
+            "    solver = get_solver(name)\n"
+            "    return solver\n",
+        "pkg/cold.py":
+            "def unrelated():\n"
+            "    pass\n",
+    })
+    roots = graph.by_suffix("tune")
+    reachable = graph.reachable_from(roots)
+    # dispatch-by-name pulls in every registered implementation...
+    assert "pkg/impl.py::MistSolver.solve" in reachable
+    assert "pkg/impl.py::MistSolver._inner" in reachable
+    # ...but not unregistered, uncalled code
+    assert "pkg/cold.py::unrelated" not in reachable
+    # without registry following, the dispatch stays opaque
+    narrow = graph.reachable_from(roots, follow_registry=False)
+    assert "pkg/impl.py::MistSolver.solve" not in narrow
+
+
+def test_by_suffix_matches_dotted_tail():
+    graph = graph_of({
+        "pkg/a.py": "class C:\n    def run(self):\n        pass\n"
+                    "def run():\n    pass\n",
+    })
+    assert graph.by_suffix("C.run") == {"pkg/a.py::C.run"}
+    assert graph.by_suffix("run") == {"pkg/a.py::C.run", "pkg/a.py::run"}

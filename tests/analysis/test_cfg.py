@@ -1,0 +1,210 @@
+"""CFG construction: shapes the dataflow engine must model faithfully."""
+
+import ast
+
+from repro.analysis import build_cfg, iter_functions
+
+
+def cfg_of(source, name=None):
+    tree = ast.parse(source)
+    funcs = dict(iter_functions(tree))
+    if name is None:
+        name = next(iter(funcs))
+    return build_cfg(funcs[name], name)
+
+
+def labels(cfg):
+    return [cfg.blocks[bid].label for bid in cfg.block_order()]
+
+
+def element_types(cfg):
+    return [type(el).__name__ for _b, el in cfg.iter_elements()]
+
+
+def test_straight_line_body_is_one_block_after_entry():
+    cfg = cfg_of("def f(a):\n    x = a\n    y = x\n    return y\n")
+    entry = cfg.blocks[cfg.entry]
+    # parameters are represented by the arguments node at entry
+    assert isinstance(entry.elements[0], ast.arguments)
+    assert cfg.exit in {s for bid in cfg.blocks
+                        for s in cfg.blocks[bid].succs}
+    assert element_types(cfg).count("Return") == 1
+
+
+def test_if_else_branches_and_join():
+    cfg = cfg_of(
+        "def f(a):\n"
+        "    if a:\n"
+        "        x = 1\n"
+        "    else:\n"
+        "        x = 2\n"
+        "    return x\n")
+    entry = cfg.blocks[cfg.entry]
+    # the test expression is an element of the branching block
+    assert any(isinstance(el, ast.Name) for el in entry.elements)
+    assert len(entry.succs) == 2
+    join = [b for b in cfg.blocks.values() if b.label == "if-join"][0]
+    assert len(join.preds) == 2
+
+
+def test_while_has_back_edge_and_exit_edge():
+    cfg = cfg_of(
+        "def f(n):\n"
+        "    while n:\n"
+        "        n -= 1\n"
+        "    return n\n")
+    head = [b for b in cfg.blocks.values() if b.label == "while-head"][0]
+    body = [b for b in cfg.blocks.values() if b.label == "while-body"][0]
+    after = [b for b in cfg.blocks.values() if b.label == "while-after"][0]
+    assert body.id in head.succs and after.id in head.succs
+    assert head.id in body.succs  # back edge
+
+
+def test_for_break_continue_edges():
+    cfg = cfg_of(
+        "def f(xs):\n"
+        "    for x in xs:\n"
+        "        if x:\n"
+        "            break\n"
+        "        continue\n"
+        "    return 0\n")
+    head = [b for b in cfg.blocks.values() if b.label == "for-head"][0]
+    after = [b for b in cfg.blocks.values() if b.label == "for-after"][0]
+    # the For node itself is the loop-head element (defines the target)
+    assert any(isinstance(el, ast.For) for el in head.elements)
+    break_blocks = [b for b in cfg.blocks.values()
+                    if any(isinstance(el, ast.Break) for el in b.elements)]
+    continue_blocks = [b for b in cfg.blocks.values()
+                       if any(isinstance(el, ast.Continue)
+                              for el in b.elements)]
+    assert after.id in break_blocks[0].succs
+    assert head.id in continue_blocks[0].succs
+
+
+def test_try_except_wires_body_blocks_to_handler_heads():
+    cfg = cfg_of(
+        "def f():\n"
+        "    try:\n"
+        "        a = 1\n"
+        "        b = 2\n"
+        "    except ValueError as exc:\n"
+        "        c = 3\n"
+        "    return 0\n")
+    handler_head = [b for b in cfg.blocks.values()
+                    if b.label.startswith("except:")][0]
+    assert isinstance(handler_head.elements[0], ast.ExceptHandler)
+    body = [b for b in cfg.blocks.values() if b.label == "try-body"][0]
+    # an exception can occur at any try-body statement
+    assert handler_head.id in body.succs
+    join = [b for b in cfg.blocks.values() if b.label == "try-join"][0]
+    assert len(join.preds) >= 2  # success path + handler path
+
+
+def test_try_finally_routes_return_through_finally():
+    cfg = cfg_of(
+        "def f():\n"
+        "    try:\n"
+        "        return 1\n"
+        "    finally:\n"
+        "        cleanup = True\n")
+    final = [b for b in cfg.blocks.values() if b.label == "finally"][0]
+    return_block = [b for b in cfg.blocks.values()
+                    if any(isinstance(el, ast.Return)
+                           for el in b.elements)][0]
+    assert final.id in return_block.succs
+    # the finally body can fall through to exit (re-raise route)
+    assert cfg.exit in final.succs
+
+
+def test_try_except_else_finally_full_shape():
+    cfg = cfg_of(
+        "def f():\n"
+        "    try:\n"
+        "        a = 1\n"
+        "    except KeyError:\n"
+        "        b = 2\n"
+        "    else:\n"
+        "        c = 3\n"
+        "    finally:\n"
+        "        d = 4\n"
+        "    return 0\n")
+    names = labels(cfg)
+    assert "try-else" in names and "finally" in names
+    final = [b for b in cfg.blocks.values() if b.label == "finally"][0]
+    # both the else path and the handler path drain into finally
+    assert len(final.preds) >= 2
+
+
+def test_with_items_are_elements_and_body_is_inline():
+    cfg = cfg_of(
+        "def f(lock):\n"
+        "    with lock as guard:\n"
+        "        x = guard\n"
+        "    return x\n")
+    items = [el for _b, el in cfg.iter_elements()
+             if isinstance(el, ast.withitem)]
+    assert len(items) == 1
+    # no dedicated with-block: body statements share the current block
+    assert "with" not in " ".join(labels(cfg))
+
+
+def test_comprehensions_stay_expression_level():
+    cfg = cfg_of(
+        "def f(xs):\n"
+        "    ys = [x + 1 for x in xs]\n"
+        "    return ys\n")
+    # one entry block, one exit: comprehension adds no blocks
+    assert [b.label for b in cfg.blocks.values()
+            if b.elements] == ["entry"]
+
+
+def test_async_def_builds_with_params_and_awaits():
+    tree = ast.parse(
+        "async def f(job):\n"
+        "    async with guard():\n"
+        "        r = await run(job)\n"
+        "    return r\n")
+    funcs = dict(iter_functions(tree))
+    cfg = build_cfg(funcs["f"], "f")
+    entry = cfg.blocks[cfg.entry]
+    assert isinstance(entry.elements[0], ast.arguments)
+    assert any(isinstance(el, ast.withitem)
+               for _b, el in cfg.iter_elements())
+
+
+def test_match_cases_branch_from_subject_block():
+    cfg = cfg_of(
+        "def f(x):\n"
+        "    match x:\n"
+        "        case 1:\n"
+        "            y = 'one'\n"
+        "        case _:\n"
+        "            y = 'other'\n"
+        "    return y\n")
+    cases = [b for b in cfg.blocks.values() if b.label == "case"]
+    assert len(cases) == 2
+    assert all(isinstance(b.elements[0], ast.match_case) for b in cases)
+
+
+def test_code_after_return_is_unreachable_block():
+    cfg = cfg_of(
+        "def f():\n"
+        "    return 1\n"
+        "    x = 2\n")
+    dead = [b for b in cfg.blocks.values() if b.label == "unreachable"]
+    assert len(dead) == 1 and not dead[0].preds
+
+
+def test_iter_functions_qualnames_cover_methods_and_nesting():
+    tree = ast.parse(
+        "def top():\n"
+        "    def inner():\n"
+        "        pass\n"
+        "class C:\n"
+        "    def m(self):\n"
+        "        pass\n"
+        "    class D:\n"
+        "        def n(self):\n"
+        "            pass\n")
+    names = [qual for qual, _ in iter_functions(tree)]
+    assert names == ["top", "top.inner", "C.m", "C.D.n"]

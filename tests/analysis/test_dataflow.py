@@ -1,0 +1,237 @@
+"""Reaching definitions, use-def chains, and taint transfer functions."""
+
+import ast
+
+from repro.analysis import (
+    ReachingDefinitions,
+    TaintAnalysis,
+    TaintSource,
+    TaintSpec,
+    build_cfg,
+    iter_functions,
+    use_def_chains,
+)
+from repro.analysis.dataflow import element_defs, element_uses
+
+
+def cfg_of(source, name=None):
+    tree = ast.parse(source)
+    funcs = dict(iter_functions(tree))
+    if name is None:
+        name = next(iter(funcs))
+    return build_cfg(funcs[name], name)
+
+
+SPEC = TaintSpec(
+    call_sources={"time.time": ("wall-clock", "time.time")},
+    ref_sources={"time.time": ("wall-clock", "time.time")},
+    prefix_sources={"random.": ("entropy", "random.*")},
+    sanitizers={"sorted": frozenset({"hash-order"}),
+                "scrub": "*"},
+)
+
+
+# -- element-level defs/uses -----------------------------------------------
+
+def test_element_defs_cover_binding_forms():
+    mod = ast.parse(
+        "import os as sys_os\n"
+        "from json import dumps\n"
+        "a, (b, *c) = x\n"
+        "d: int = 1\n"
+        "e += 1\n"
+        "f = (g := 2)\n")
+    kinds = {}
+    for stmt in mod.body:
+        for definition in element_defs(stmt):
+            kinds[definition.name] = definition.kind
+    assert kinds == {
+        "sys_os": "import", "dumps": "import",
+        "a": "assign", "b": "assign", "c": "assign",
+        "d": "ann", "e": "aug", "f": "assign", "g": "walrus",
+    }
+
+
+def test_element_uses_skip_comprehension_bound_names():
+    stmt = ast.parse("ys = [x + z for x in xs]").body[0]
+    used = sorted({n.id for n in element_uses(stmt)})
+    assert used == ["xs", "z"]  # x is comprehension-local
+
+
+def test_element_uses_skip_nested_scopes():
+    stmt = ast.parse("f = lambda q: q + outer\n").body[0]
+    assert {n.id for n in element_uses(stmt)} == set()
+
+
+# -- reaching definitions / use-def golden tests ---------------------------
+
+def test_branch_merges_both_definitions():
+    cfg = cfg_of(
+        "def f(a):\n"          # line 1
+        "    if a:\n"          # 2
+        "        x = 1\n"      # 3
+        "    else:\n"
+        "        x = 2\n"      # 5
+        "    return x\n")      # 6
+    chains = [c for c in use_def_chains(cfg) if c.name == "x"]
+    assert len(chains) == 1
+    assert sorted(d.line for d in chains[0].defs) == [3, 5]
+
+
+def test_straight_line_redefinition_kills_old_def():
+    cfg = cfg_of(
+        "def f():\n"
+        "    x = 1\n"          # 2
+        "    x = 2\n"          # 3
+        "    return x\n")      # 4
+    chains = [c for c in use_def_chains(cfg) if c.name == "x"]
+    assert [d.line for d in chains[-1].defs] == [3]
+
+
+def test_loop_carried_definition_reaches_header_use():
+    cfg = cfg_of(
+        "def f(n):\n"          # 1
+        "    x = 0\n"          # 2
+        "    while n:\n"       # 3 (use of n and x's defs flow around)
+        "        x = x + 1\n"  # 4
+        "    return x\n")      # 5
+    ret_chain = [c for c in use_def_chains(cfg)
+                 if c.name == "x"
+                 and isinstance(c.element, ast.Return)][0]
+    assert sorted(d.line for d in ret_chain.defs) == [2, 4]
+    # inside the loop body, both the init and the loop-carried def reach
+    body_chain = [c for c in use_def_chains(cfg)
+                  if c.name == "x" and c.use.lineno == 4][0]
+    assert sorted(d.line for d in body_chain.defs) == [2, 4]
+
+
+def test_except_handler_binding_reaches_handler_body():
+    cfg = cfg_of(
+        "def f():\n"
+        "    try:\n"
+        "        risky()\n"
+        "    except ValueError as exc:\n"   # 4
+        "        return exc\n")             # 5
+    chain = [c for c in use_def_chains(cfg) if c.name == "exc"][0]
+    assert [(d.line, d.kind) for d in chain.defs] == [(4, "except")]
+
+
+def test_with_and_for_targets_are_definitions():
+    cfg = cfg_of(
+        "def f(xs, cm):\n"
+        "    with cm as fh:\n"       # 2
+        "        for row in xs:\n"   # 3
+        "            use(fh, row)\n")
+    chains = {c.name: c for c in use_def_chains(cfg)
+              if c.name in ("fh", "row")}
+    assert {d.kind for d in chains["fh"].defs} == {"with"}
+    assert {d.kind for d in chains["row"].defs} == {"for"}
+
+
+def test_parameters_defined_at_entry():
+    cfg = cfg_of("def f(a, *rest, **kw):\n    return a, rest, kw\n")
+    reaching = ReachingDefinitions(cfg)
+    ret = [el for _b, el in cfg.iter_elements()
+           if isinstance(el, ast.Return)][0]
+    state = reaching.before(ret)
+    assert {name for name in ("a", "rest", "kw")} <= set(state)
+    assert all(next(iter(state[n])).kind == "param"
+               for n in ("a", "rest", "kw"))
+
+
+# -- taint ------------------------------------------------------------------
+
+def taint_of(source, name=None, **kwargs):
+    return TaintAnalysis(cfg_of(source, name), SPEC, **kwargs)
+
+
+def test_taint_flows_through_assignment_chain():
+    analysis = taint_of(
+        "def f():\n"
+        "    stamp = time.time()\n"
+        "    salted = stamp + 1\n"
+        "    return salted\n")
+    assert {t.kind for t in analysis.return_taint} == {"wall-clock"}
+
+
+def test_taint_strong_update_clears():
+    analysis = taint_of(
+        "def f():\n"
+        "    x = time.time()\n"
+        "    x = 0\n"
+        "    return x\n")
+    assert analysis.return_taint == frozenset()
+
+
+def test_sorted_launders_hash_order_but_not_wall_clock():
+    analysis = taint_of(
+        "def f():\n"
+        "    order = sorted({'a', 'b'})\n"
+        "    stamp = sorted([time.time()])\n"
+        "    return order, stamp\n")
+    kinds = {t.kind for t in analysis.return_taint}
+    assert kinds == {"wall-clock"}  # hash-order laundered, clock not
+
+
+def test_star_sanitizer_clears_everything():
+    analysis = taint_of(
+        "def f():\n"
+        "    x = scrub(time.time())\n"
+        "    return x\n")
+    assert analysis.return_taint == frozenset()
+
+
+def test_set_iteration_and_cast_taint_hash_order():
+    analysis = taint_of(
+        "def f():\n"
+        "    out = []\n"
+        "    for item in {'x', 'y'}:\n"
+        "        out.append(item)\n"
+        "    order = list({'a'})\n"
+        "    return out, order\n")
+    kinds = {t.kind for t in analysis.return_taint}
+    assert kinds == {"hash-order"}
+
+
+def test_branch_join_unions_taint():
+    analysis = taint_of(
+        "def f(flag):\n"
+        "    if flag:\n"
+        "        x = time.time()\n"
+        "    else:\n"
+        "        x = random.random()\n"
+        "    return x\n")
+    assert {t.kind for t in analysis.return_taint} == \
+        {"wall-clock", "entropy"}
+
+
+def test_param_taints_seed_entry_state():
+    analysis = taint_of(
+        "def f(key):\n"
+        "    derived = key\n"
+        "    return derived\n",
+        param_taints={"key": frozenset(
+            {TaintSource("env", "caller", 1)})})
+    assert {t.kind for t in analysis.return_taint} == {"env"}
+
+
+def test_call_summary_hook_splices_callee_taint():
+    def summary(node):
+        return frozenset({TaintSource("wall-clock", "helper()",
+                                      node.lineno)})
+
+    analysis = taint_of(
+        "def f():\n"
+        "    x = helper()\n"
+        "    return x\n",
+        call_summary=summary)
+    assert {t.description for t in analysis.return_taint} == {"helper()"}
+
+
+def test_container_weak_update_keeps_taint():
+    analysis = taint_of(
+        "def f():\n"
+        "    payload = {}\n"
+        "    payload['ts'] = time.time()\n"
+        "    return payload\n")
+    assert {t.kind for t in analysis.return_taint} == {"wall-clock"}

@@ -1,0 +1,156 @@
+"""exception-flow rule: broad handlers swallowing guarded exceptions."""
+
+from repro.analysis import CheckConfig, Project, check_project
+
+CONFIG = CheckConfig(
+    exception_paths=("pkg/",),
+    guarded_exceptions=("SearchCancelled", "WorkerDiedError"),
+    guarded_exception_bases=("RuntimeError",),
+    solver_roots=("Tuner.search",),
+)
+
+
+def run_on(sources, config=CONFIG):
+    project = Project.from_sources(sources, config=config)
+    return check_project(project, rules=["exception-flow"]).findings
+
+
+SWALLOWED = """\
+class SearchCancelled(RuntimeError):
+    pass
+
+def solve_cell(cell):
+    if cell.cancelled:
+        raise SearchCancelled(cell)
+    return cell
+
+class Tuner:
+    def search(self, cells):
+        out = []
+        for cell in cells:
+            try:
+                out.append(solve_cell(cell))
+            except Exception:
+                continue
+        return out
+"""
+
+CAUGHT_BY_NAME_FIRST = """\
+class SearchCancelled(RuntimeError):
+    pass
+
+def solve_cell(cell):
+    if cell.cancelled:
+        raise SearchCancelled(cell)
+    return cell
+
+class Tuner:
+    def search(self, cells):
+        out = []
+        for cell in cells:
+            try:
+                out.append(solve_cell(cell))
+            except SearchCancelled:
+                raise
+            except Exception:
+                continue
+        return out
+"""
+
+RERAISING_BROAD = """\
+class SearchCancelled(RuntimeError):
+    pass
+
+def solve_cell(cell):
+    raise SearchCancelled(cell)
+
+class Tuner:
+    def search(self, cells):
+        try:
+            return [solve_cell(c) for c in cells]
+        except Exception as exc:
+            if isinstance(exc, SearchCancelled):
+                raise
+            return []
+"""
+
+UNREACHABLE = """\
+class SearchCancelled(RuntimeError):
+    pass
+
+def solve_cell(cell):
+    raise SearchCancelled(cell)
+
+class Maintenance:
+    def cleanup(self, cells):
+        try:
+            return [solve_cell(c) for c in cells]
+        except Exception:
+            return []
+"""
+
+
+def test_broad_handler_swallowing_guarded_exception_is_flagged():
+    findings = run_on({"pkg/solver.py": SWALLOWED})
+    assert len(findings) == 1
+    (finding,) = findings
+    assert "SearchCancelled" in finding.message
+    assert "Tuner.search" in finding.message
+    assert finding.line == 15  # the except Exception: line
+
+
+def test_named_catch_before_broad_handler_is_clean():
+    assert run_on({"pkg/solver.py": CAUGHT_BY_NAME_FIRST}) == ()
+
+
+def test_broad_handler_that_reraises_is_clean():
+    assert run_on({"pkg/solver.py": RERAISING_BROAD}) == ()
+
+
+def test_handlers_off_the_solver_path_are_ignored():
+    # same swallow shape, but Maintenance.cleanup is not reachable
+    # from the configured solver roots
+    assert run_on({"pkg/solver.py": UNREACHABLE}) == ()
+
+
+def test_base_class_handler_counts_as_broad():
+    source = SWALLOWED.replace("except Exception:",
+                               "except RuntimeError:")
+    findings = run_on({"pkg/solver.py": source})
+    assert len(findings) == 1
+    assert "SearchCancelled" in findings[0].message
+
+
+def test_escape_propagates_through_callable_reference():
+    source = """\
+class WorkerDiedError(RuntimeError):
+    pass
+
+class Tuner:
+    def _work(self, job):
+        raise WorkerDiedError(job)
+
+    def _dispatch(self, run, job):
+        # the executor pattern: _work is passed, not called, here
+        return run(self._work, job)
+
+    def search(self, jobs):
+        try:
+            return [self._dispatch(apply, j) for j in jobs]
+        except Exception:
+            return []
+"""
+    findings = run_on({"pkg/solver.py": source})
+    assert len(findings) == 1
+    assert "WorkerDiedError" in findings[0].message
+
+
+def test_suppression_with_justification_is_honored():
+    source = SWALLOWED.replace(
+        "except Exception:",
+        "except Exception:  # repro: allow[exception-flow] "
+        "daemon loop must survive anything")
+    project = Project.from_sources({"pkg/solver.py": source},
+                                   config=CONFIG)
+    result = check_project(project, rules=["exception-flow"])
+    assert result.findings == ()

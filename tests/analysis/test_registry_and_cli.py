@@ -18,8 +18,10 @@ from repro.analysis import (
 from repro.analysis.registry import _REGISTRY
 from repro.cli import main
 
-BUILTIN_RULES = ("async-safety", "determinism", "lock-discipline",
-                 "registry-discipline", "serialization")
+BUILTIN_RULES = ("async-safety", "determinism", "exception-flow",
+                 "fingerprint-taint", "lock-discipline", "lock-order",
+                 "registry-discipline", "serialization",
+                 "vectorization-discipline")
 
 
 def test_builtin_rules_registered():
@@ -127,6 +129,21 @@ def test_cli_check_rule_filter_and_json(tmp_path, capsys):
 def test_cli_check_unknown_rule_exits_two(tmp_path, capsys):
     assert main(["check", "--rule", "nope", str(tmp_path)]) == 2
     assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_check_unknown_rule_among_known_still_exits_two(tmp_path,
+                                                            capsys):
+    # a typo must not silently degrade to "run the rules that parsed"
+    assert main(["check", "--rule", "determinism", "--rule", "determinsm",
+                 str(tmp_path)]) == 2
+    assert "determinsm" in capsys.readouterr().err
+
+
+def test_cli_check_nonexistent_path_exits_two(tmp_path, capsys):
+    missing = tmp_path / "no-such-dir"
+    assert main(["check", str(missing)]) == 2
+    err = capsys.readouterr().err
+    assert "no such path" in err and "no-such-dir" in err
 
 
 def test_cli_check_list_rules(capsys):
